@@ -1,0 +1,27 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+(but shape-preserving) scale so the whole suite finishes in a few minutes;
+set ``REPRO_PAPER_SCALE=1`` to run the original axes (up to 120 VM instances
+and 400 CM1 processes), which takes considerably longer.
+
+The regenerated rows are attached to the benchmark's ``extra_info`` so that
+``pytest-benchmark``'s JSON output doubles as the experiment record.
+"""
+
+import os
+
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+def attach_rows(benchmark, result) -> None:
+    """Record an ExperimentResult's rows in the benchmark metadata."""
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["rows"] = result.rows

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 2 (checkpoint time vs number of processes)."""
+
+from conftest import attach_rows
+
+from repro.experiments import run_fig2
+from repro.experiments.harness import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
+from repro.util.units import MB
+
+
+def test_fig2_checkpoint_time(benchmark, paper_scale):
+    scale = PAPER_SCALE_POINTS if paper_scale else BENCH_SCALE_POINTS
+
+    def run():
+        return run_fig2(scale_points=scale)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    print()
+    print(result.to_table())
+    # Shape assertions from the paper: BlobCR is never slower than the
+    # qcow2-over-PVFS baselines and qcow2-full is the worst of the five;
+    # the BlobCR advantage grows with the buffer size and the scale.
+    for row in result.rows:
+        assert row["BlobCR-app"] <= row["qcow2-disk-app"] * 1.05
+        assert row["BlobCR-blcr"] <= row["qcow2-disk-blcr"] * 1.05
+        assert row["qcow2-full"] >= row["BlobCR-app"]
+    largest = [r for r in result.rows if r["buffer_MB"] == 200][-1]
+    assert largest["qcow2-disk-app"] / largest["BlobCR-app"] >= 1.3

@@ -1,0 +1,17 @@
+"""Guest applications used by the paper's evaluation.
+
+* :class:`~repro.apps.synthetic.SyntheticBenchmark` -- the micro-benchmark of
+  Section 4.3: every process fills a fixed-size data buffer with random data,
+  dumps it to a file for application-level checkpoints, and reads it back on
+  restart.
+* :class:`~repro.apps.cm1.CM1Application` -- the real-life case study of
+  Section 4.4: a 3-D non-hydrostatic atmospheric model solved iteratively
+  over a decomposed spatial domain (weak scaling, 50x50 subdomain per
+  process, 4 processes per quad-core VM), with application-level restart
+  files and periodic summary output.
+"""
+
+from repro.apps.synthetic import SyntheticBenchmark
+from repro.apps.cm1 import CM1Application, CM1Config
+
+__all__ = ["SyntheticBenchmark", "CM1Application", "CM1Config"]

@@ -1,0 +1,18 @@
+"""The comparison points of the paper's evaluation.
+
+Both baselines keep the base raw image on PVFS and give every instance a
+local qcow2 overlay backed by it:
+
+* :class:`~repro.baselines.qcow2_disk.Qcow2DiskDeployment` -- *disk-only*
+  snapshots: on every checkpoint the proxy copies the instance's local qcow2
+  image to PVFS as a new file (``qcow2-disk-app`` / ``qcow2-disk-blcr``);
+* :class:`~repro.baselines.qcow2_full.Qcow2FullDeployment` -- *full VM*
+  snapshots: ``savevm`` stores RAM + device state inside the qcow2 image,
+  and the whole image is copied to PVFS (``qcow2-full``); restart resumes
+  the VM without a reboot.
+"""
+
+from repro.baselines.qcow2_disk import Qcow2DiskDeployment
+from repro.baselines.qcow2_full import Qcow2FullDeployment
+
+__all__ = ["Qcow2DiskDeployment", "Qcow2FullDeployment"]

@@ -1,0 +1,159 @@
+"""Shared machinery of the qcow2-over-PVFS baselines."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.cluster.cloud import Cloud
+from repro.cluster.hypervisor import DEFAULT_BOOT_READ_BYTES, Hypervisor
+from repro.cluster.pvfs import PVFSDeployment
+from repro.core.baseimage import build_base_image
+from repro.core.strategy import DeployedInstance, Deployment
+from repro.guest.osnoise import write_boot_noise
+from repro.guest.vm import VMInstance
+from repro.util.errors import RestartError
+from repro.vdisk.qcow2 import QcowImage
+from repro.vdisk.raw import RawImage
+
+#: PVFS file name of the shared base image
+BASE_IMAGE_FILE = "images/base.raw"
+
+
+class QcowPVFSDeployment(Deployment):
+    """Common deploy / boot logic for the qcow2-over-PVFS baselines.
+
+    The base raw image lives in PVFS and is accessible on every compute node
+    through a local mount point; each instance gets a local qcow2 overlay
+    created with ``qemu-img create -b base.raw`` that absorbs its writes.
+    """
+
+    name = "qcow2-common"
+
+    def __init__(self, cloud: Cloud, pvfs: Optional[PVFSDeployment] = None,
+                 base_image: Optional[RawImage] = None,
+                 boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES):
+        super().__init__(cloud)
+        self.pvfs = pvfs or PVFSDeployment(cloud)
+        self._base_image = base_image
+        self.boot_read_bytes = boot_read_bytes
+        self._hypervisors: Dict[str, Hypervisor] = {}
+        self._base_uploaded = False
+
+    # -- infrastructure helpers -----------------------------------------------------------
+
+    def _hypervisor(self, node_name: str) -> Hypervisor:
+        if node_name not in self._hypervisors:
+            node = self.cloud.node(node_name)
+            self._hypervisors[node_name] = Hypervisor(
+                self.cloud.env, node, self.cloud.spec.vm, jitter=self.cloud.jittered
+            )
+        return self._hypervisors[node_name]
+
+    def ensure_base_image(self, uploader_node: Optional[str] = None) -> Generator:
+        """Simulation process: store the base raw image in PVFS once."""
+        if self._base_uploaded:
+            return self._base_image
+        if self._base_image is None:
+            self._base_image = build_base_image(self.cloud.spec)
+        uploader = uploader_node or self.cloud.compute_nodes[0].name
+        # The raw file is sparse; only its allocated content crosses the wire.
+        yield from self.pvfs.write_file(
+            uploader, BASE_IMAGE_FILE, self._base_image.allocated_bytes,
+            payload=self._base_image,
+        )
+        self._base_uploaded = True
+        return self._base_image
+
+    def _pvfs_boot_reader(self, instance_id: str, node_name: str):
+        """Boot-time hot content is read from the base image through PVFS."""
+
+        def reader(nbytes: float, label: str):
+            def _fetch():
+                yield from self.pvfs.read_file(node_name, BASE_IMAGE_FILE, size=int(nbytes))
+                return nbytes
+
+            return self.cloud.process(_fetch(), name=f"pvfs-boot:{instance_id}")
+
+        return reader
+
+    def _new_overlay(self, instance_id: str) -> QcowImage:
+        return QcowImage(
+            self.cloud.spec.vm.disk_size,
+            cluster_size=self.cloud.spec.checkpoint.qcow2_cluster_size,
+            backing=self._base_image,
+            name=f"{instance_id}.qcow2",
+        )
+
+    # -- deployment --------------------------------------------------------------------------
+
+    def deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
+        yield from self.ensure_base_image()
+        node_names = self._place_instances(count)
+        boots = []
+        for i, node_name in enumerate(node_names):
+            instance_id = f"vm-{i:03d}"
+            vm = VMInstance(instance_id, self.cloud.spec.vm)
+            overlay = self._new_overlay(instance_id)
+            instance = DeployedInstance(
+                instance_id=instance_id, vm=vm, node_name=node_name,
+                hypervisor=self._hypervisor(node_name), backend=overlay,
+            )
+            self.instances.append(instance)
+            boots.append(self.cloud.process(
+                self._boot_instance(instance, processes_per_instance),
+                name=f"deploy:{instance_id}",
+            ))
+        yield self.cloud.env.all_of(boots)
+        return list(self.instances)
+
+    def _boot_instance(self, instance: DeployedInstance,
+                       processes_per_instance: int) -> Generator:
+        overlay: QcowImage = instance.backend
+        hypervisor = self._hypervisor(instance.node_name)
+        yield from hypervisor.boot(
+            instance.vm, overlay,
+            image_reader=self._pvfs_boot_reader(instance.instance_id, instance.node_name),
+            boot_read_bytes=self.boot_read_bytes,
+        )
+        noise = write_boot_noise(instance.vm.filesystem, self.cloud.spec.checkpoint,
+                                 instance.instance_id)
+        yield self.cloud.node(instance.node_name).disk.write(
+            noise, label=f"boot-noise:{instance.instance_id}"
+        )
+        for p in range(processes_per_instance):
+            instance.vm.spawn_process(f"rank-{instance.instance_id}-{p}")
+        return instance
+
+    # -- shared snapshot helpers ----------------------------------------------------------------
+
+    def _copy_image_to_pvfs(self, instance: DeployedInstance, overlay: QcowImage,
+                            file_name: str) -> Generator:
+        """Simulation process: ``cp`` the local qcow2 file into PVFS."""
+        node_name = instance.vm.host or instance.node_name
+        size = overlay.file_size
+        yield self.cloud.node(node_name).disk.read(size, label=f"read-qcow:{file_name}")
+        yield from self.pvfs.write_file(node_name, file_name, size,
+                                        payload=overlay.clone_file(file_name))
+        return size
+
+    def _fetch_snapshot_image(self, node_name: str, file_name: str,
+                              lazy_bytes: Optional[float] = None) -> Generator:
+        """Simulation process: make a stored snapshot image usable on ``node_name``.
+
+        ``lazy_bytes`` limits the transfer to the hot content actually needed
+        (the qcow2 file is accessible through the PVFS mount point, so only
+        read pages cross the network); ``None`` reads the whole file.
+        """
+        if not self.pvfs.exists(file_name):
+            raise RestartError(f"snapshot image {file_name} not found in PVFS")
+        entry = yield from self.pvfs.read_file(
+            node_name, file_name,
+            size=int(lazy_bytes) if lazy_bytes is not None else None,
+        )
+        payload = entry.payload
+        if not isinstance(payload, QcowImage):
+            raise RestartError(f"PVFS file {file_name} does not hold a qcow2 image")
+        return payload.clone_file(f"{file_name}@{node_name}")
+
+    def storage_used_bytes(self) -> int:
+        return self.pvfs.total_stored_bytes

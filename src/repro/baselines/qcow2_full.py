@@ -1,0 +1,69 @@
+"""The ``qcow2-full`` baseline: full VM snapshots via ``savevm`` + PVFS.
+
+The whole VM state (virtual disk *and* RAM, CPU registers, device state) is
+dumped into the qcow2 image with the ``savevm`` monitor command, and the
+image is stored persistently on PVFS.  An unlimited number of read-only
+internal snapshots accumulate inside the same image, so only the latest copy
+of the file needs to be kept -- but that file contains everything, which is
+why both the checkpoint time and the restart time are the worst of the five
+approaches even though restart avoids rebooting the guest.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.baselines.common import QcowPVFSDeployment
+from repro.core.strategy import CheckpointRecord, DeployedInstance
+from repro.guest.filesystem import GuestFileSystem
+from repro.util.errors import RestartError
+from repro.vdisk.qcow2 import QcowImage
+
+
+class Qcow2FullDeployment(QcowPVFSDeployment):
+    """Full VM snapshots stored on PVFS (``qcow2-full``)."""
+
+    name = "qcow2-full"
+
+    def _snapshot_file_name(self, instance: DeployedInstance) -> str:
+        # A single file per instance: internal snapshots accumulate inside it
+        # and each checkpoint overwrites the stored copy with the newer,
+        # larger version.
+        return f"snapshots/{instance.instance_id}/full.qcow2"
+
+    def checkpoint_instance(self, instance: DeployedInstance, tag: str = "") -> Generator:
+        overlay: QcowImage = instance.backend
+        hypervisor = self._hypervisor(instance.vm.host or instance.node_name)
+        started = self.cloud.now
+        snapshot_name = f"ckpt-{self._checkpoint_index:04d}"
+        # savevm: suspend, dump RAM + device state into the image, resume.
+        yield from hypervisor.savevm(instance.vm, overlay, snapshot_name)
+        file_name = self._snapshot_file_name(instance)
+        size = yield from self._copy_image_to_pvfs(instance, overlay, file_name)
+        return CheckpointRecord(
+            instance_id=instance.instance_id,
+            snapshot_ref=(file_name, snapshot_name),
+            snapshot_bytes=size,
+            duration=self.cloud.now - started,
+            restore_paths=[],  # processes resume from RAM, nothing to re-read
+        )
+
+    def restart_instance(self, instance: DeployedInstance, record: CheckpointRecord,
+                         target_node: str) -> Generator:
+        file_name, snapshot_name = record.snapshot_ref
+        # The full snapshot (disk content + saved RAM/device state) must be
+        # read back before the VM can resume; this is what cancels the
+        # benefit of skipping the reboot (Section 4.3.1).
+        overlay = yield from self._fetch_snapshot_image(target_node, file_name,
+                                                        lazy_bytes=None)
+        if not isinstance(overlay, QcowImage):  # pragma: no cover - defensive
+            raise RestartError(f"{file_name} is not a qcow2 image")
+        snapshot = overlay.revert_to_internal_snapshot(snapshot_name)
+        instance.backend = overlay
+        instance.node_name = target_node
+        hypervisor = self._hypervisor(target_node)
+        fs = GuestFileSystem.mount(overlay)
+        yield from hypervisor.resume_from_snapshot(instance.vm, overlay, fs=fs)
+        # RAM and device state are restored in place; report the volume that
+        # had to be transferred to bring the process state back.
+        return snapshot.vm_state_size

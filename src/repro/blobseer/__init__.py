@@ -1,0 +1,49 @@
+"""BlobSeer: a versioning BLOB storage service (functional core).
+
+BlobSeer [Nicolae et al., JPDC 2011] is the storage substrate of BlobCR's
+checkpoint repository.  It stores *BLOBs* (binary large objects) striped into
+fixed-size chunks that are distributed and replicated over many data
+providers, and exposes **versioning** semantics:
+
+* every write produces a new immutable *snapshot version* of the BLOB while
+  physically storing only the new chunks (**shadowing**);
+* a BLOB can be **cloned**: the clone initially shares every chunk with its
+  origin and then diverges independently;
+* reads address an explicit version and may proceed concurrently with writes.
+
+This package is a from-scratch, in-process reimplementation of those
+semantics.  It is purely functional (no simulated time); the timing of remote
+chunk/metadata accesses is charged by the deployment wrapper in
+:mod:`repro.core.repository`, which maps providers onto simulated cluster
+nodes.
+
+Public API
+----------
+
+* :class:`~repro.blobseer.client.BlobClient` -- user-facing handle
+  (``create``, ``read``, ``write``, ``clone``, ``snapshot``)
+* :class:`~repro.blobseer.version_manager.VersionManager`
+* :class:`~repro.blobseer.provider.DataProvider`, :class:`ProviderManager`
+* :class:`~repro.blobseer.metadata.MetadataStore` -- segment-tree metadata
+  with shadowing
+"""
+
+from repro.blobseer.provider import Chunk, ChunkKey, DataProvider, ProviderManager
+from repro.blobseer.metadata import ChunkDescriptor, MetadataStore, SegmentNode
+from repro.blobseer.version_manager import BlobInfo, VersionManager, VersionRecord
+from repro.blobseer.client import BlobClient, WriteResult
+
+__all__ = [
+    "Chunk",
+    "ChunkKey",
+    "DataProvider",
+    "ProviderManager",
+    "ChunkDescriptor",
+    "MetadataStore",
+    "SegmentNode",
+    "BlobInfo",
+    "VersionManager",
+    "VersionRecord",
+    "BlobClient",
+    "WriteResult",
+]

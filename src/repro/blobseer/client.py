@@ -1,0 +1,395 @@
+"""Client-side access interface of BlobSeer.
+
+The client implements the user-visible primitives on top of the version
+manager, the metadata store and the data providers:
+
+``create_blob``
+    register a new, empty BLOB (version 0).
+``write``
+    store new data at an arbitrary offset and publish it as a new version
+    (shadowing: unchanged stripes keep pointing at their old chunks).
+``read``
+    fetch any byte range of any published version.
+``clone``
+    create a new BLOB that initially shares all content with an existing
+    version and can then diverge (copy-on-write at stripe granularity).
+
+Writes are striped at the BLOB's chunk size; partial-stripe writes perform a
+read-modify-write of the affected stripe against the base version so that
+every stored chunk is self-contained.  The client is also the place where
+placement (replication) is requested from the provider manager.
+
+Each mutating call returns a :class:`WriteResult` describing exactly which
+chunks were stored where and how many metadata nodes were allocated -- the
+deployment layer (:mod:`repro.core.repository`) uses this to charge simulated
+network and disk time without re-implementing the storage logic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.blobseer.metadata import ChunkDescriptor, MetadataStore
+from repro.blobseer.provider import Chunk, ChunkKey, ProviderManager
+from repro.blobseer.version_manager import VersionManager, VersionRecord
+from repro.util.bytesource import ByteSource, LiteralBytes, ZeroBytes, concat
+from repro.util.errors import StorageError
+
+
+@dataclass
+class WriteResult:
+    """Outcome of a ``write`` / ``create_blob`` / ``clone`` operation."""
+
+    blob_id: int
+    record: VersionRecord
+    #: chunks stored by this operation: (key, size, provider ids)
+    chunks: List[Tuple[ChunkKey, int, Tuple[str, ...]]] = field(default_factory=list)
+    #: segment-tree nodes allocated by the metadata update
+    metadata_nodes: int = 0
+
+    @property
+    def version(self) -> int:
+        return self.record.version
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(size for _key, size, _prov in self.chunks)
+
+    @property
+    def provider_bytes(self) -> Dict[str, int]:
+        """Bytes shipped to each provider (replicas included)."""
+        per: Dict[str, int] = {}
+        for _key, size, providers in self.chunks:
+            for provider_id in providers:
+                per[provider_id] = per.get(provider_id, 0) + size
+        return per
+
+
+@dataclass(frozen=True)
+class ReadSegment:
+    """One piece of a read plan: where a byte window comes from."""
+
+    offset: int
+    length: int
+    descriptor: Optional[ChunkDescriptor]  # None => hole (zero bytes)
+    #: offset of the window inside the stored chunk
+    chunk_offset: int = 0
+
+
+class BlobClient:
+    """User-facing handle to a BlobSeer deployment (functional core)."""
+
+    def __init__(
+        self,
+        version_manager: Optional[VersionManager] = None,
+        metadata: Optional[MetadataStore] = None,
+        providers: Optional[ProviderManager] = None,
+        *,
+        default_chunk_size: int = 256 * 1024,
+    ) -> None:
+        self.version_manager = version_manager or VersionManager()
+        self.metadata = metadata or MetadataStore()
+        self.providers = providers or ProviderManager()
+        self.default_chunk_size = default_chunk_size
+        self._chunk_ids = itertools.count(1)
+
+    # -- BLOB lifecycle ----------------------------------------------------------------
+
+    def create_blob(
+        self,
+        chunk_size: Optional[int] = None,
+        initial_data: Optional[ByteSource] = None,
+        tag: str = "",
+    ) -> int:
+        """Create a BLOB; optionally populate version 1 with ``initial_data``."""
+        size = chunk_size or self.default_chunk_size
+        blob_id = self.version_manager.create_blob(size)
+        self.metadata.create_empty(blob_id, version=0, stripes_hint=1)
+        self.version_manager.publish(
+            blob_id, size=0, incremental_bytes=0, parent=None, tag=tag or "create"
+        )
+        if initial_data is not None and initial_data.size > 0:
+            self.write(blob_id, 0, initial_data, tag="initial-data")
+        return blob_id
+
+    def size(self, blob_id: int, version: Optional[int] = None) -> int:
+        return self.version_manager.size_of(blob_id, version)
+
+    def latest_version(self, blob_id: int) -> int:
+        return self.version_manager.latest(blob_id).version
+
+    # -- write path ---------------------------------------------------------------------
+
+    def write(
+        self,
+        blob_id: int,
+        offset: int,
+        data: ByteSource,
+        base_version: Optional[int] = None,
+        tag: str = "",
+    ) -> WriteResult:
+        """Write ``data`` at ``offset`` and publish the result as a new version."""
+        return self.write_batch(blob_id, [(offset, data)], base_version=base_version,
+                                tag=tag or f"write@{offset}")
+
+    def write_batch(
+        self,
+        blob_id: int,
+        pieces: List[Tuple[int, ByteSource]],
+        base_version: Optional[int] = None,
+        tag: str = "",
+    ) -> WriteResult:
+        """Write several ``(offset, data)`` pieces and publish them as **one**
+        new version.
+
+        This is the primitive the mirroring module's COMMIT uses: all blocks
+        dirtied since the previous snapshot become a single incremental
+        snapshot of the checkpoint image.  Later pieces overwrite earlier ones
+        where they overlap.
+        """
+        for offset, _data in pieces:
+            if offset < 0:
+                raise StorageError(f"negative write offset {offset}")
+        info = self.version_manager.get(blob_id)
+        chunk_size = info.chunk_size
+        base = self.version_manager.latest(blob_id).version if base_version is None else base_version
+        base_record = self.version_manager.record(blob_id, base)
+        new_version = info.versions[-1].version + 1
+
+        # Split every piece into per-stripe windows; later pieces win.
+        stripe_windows: Dict[int, Dict[int, ByteSource]] = {}
+        for offset, data in pieces:
+            if data.size == 0:
+                continue
+            first_stripe = offset // chunk_size
+            last_stripe = (offset + data.size - 1) // chunk_size
+            for stripe in range(first_stripe, last_stripe + 1):
+                stripe_start = stripe * chunk_size
+                stripe_end = stripe_start + chunk_size
+                win_start = max(offset, stripe_start)
+                win_end = min(offset + data.size, stripe_end)
+                payload = data.slice(win_start - offset, win_end - win_start)
+                stripe_windows.setdefault(stripe, {})[win_start - stripe_start] = payload
+
+        updates: Dict[int, ChunkDescriptor] = {}
+        chunks: List[Tuple[ChunkKey, int, Tuple[str, ...]]] = []
+        for stripe in sorted(stripe_windows):
+            windows = stripe_windows[stripe]
+            if len(windows) == 1:
+                ((start, payload),) = windows.items()
+                full_cover = start == 0 and payload.size == chunk_size
+                if not full_cover:
+                    payload = self._merge_partial_stripe(
+                        blob_id, base, base_record.size, stripe, chunk_size, payload, start
+                    )
+            else:
+                payload = self._merge_windows(
+                    blob_id, base, base_record.size, stripe, chunk_size, windows
+                )
+            key = ChunkKey(blob_id=blob_id, chunk_id=next(self._chunk_ids))
+            chunk = Chunk(key=key, data=payload)
+            decision = self.providers.store_replicated(chunk)
+            descriptor = ChunkDescriptor(
+                stripe_index=stripe,
+                length=payload.size,
+                key=key,
+                providers=tuple(decision.providers),
+                created_by=(blob_id, new_version),
+            )
+            updates[stripe] = descriptor
+            chunks.append((key, payload.size, tuple(decision.providers)))
+
+        nodes = self.metadata.derive_version(blob_id, base, new_version, updates)
+        new_size = base_record.size
+        for offset, data in pieces:
+            new_size = max(new_size, offset + data.size)
+        record = self.version_manager.publish(
+            blob_id,
+            size=new_size,
+            incremental_bytes=sum(size for _k, size, _p in chunks),
+            parent=(blob_id, base),
+            tag=tag or "write-batch",
+        )
+        if record.version != new_version:  # pragma: no cover - single-writer invariant
+            raise StorageError(
+                f"concurrent publish detected on blob {blob_id}: "
+                f"expected v{new_version}, got v{record.version}"
+            )
+        return WriteResult(blob_id=blob_id, record=record, chunks=chunks, metadata_nodes=nodes)
+
+    def _merge_windows(
+        self,
+        blob_id: int,
+        base_version: int,
+        base_size: int,
+        stripe: int,
+        chunk_size: int,
+        windows: Dict[int, ByteSource],
+    ) -> ByteSource:
+        """Overlay several windows of one stripe onto its existing contents."""
+        stripe_start = stripe * chunk_size
+        existing_len = max(0, min(chunk_size, base_size - stripe_start))
+        if existing_len > 0:
+            base = self._read_version(blob_id, base_version, stripe_start, existing_len)
+            buffer = bytearray(base.to_bytes())
+        else:
+            buffer = bytearray()
+        for start in sorted(windows):
+            payload = windows[start]
+            end = start + payload.size
+            if len(buffer) < end:
+                buffer.extend(b"\x00" * (end - len(buffer)))
+            buffer[start:end] = payload.to_bytes()
+        return LiteralBytes(bytes(buffer))
+
+    def _merge_partial_stripe(
+        self,
+        blob_id: int,
+        base_version: int,
+        base_size: int,
+        stripe: int,
+        chunk_size: int,
+        payload: ByteSource,
+        offset_in_stripe: int,
+    ) -> ByteSource:
+        """Overlay ``payload`` onto the existing contents of a stripe."""
+        stripe_start = stripe * chunk_size
+        existing_len = max(0, min(chunk_size, base_size - stripe_start))
+        new_len = max(existing_len, offset_in_stripe + payload.size)
+        if existing_len > 0:
+            old = self._read_version(blob_id, base_version, stripe_start, existing_len)
+        else:
+            old = LiteralBytes(b"")
+        pieces: List[ByteSource] = []
+        if offset_in_stripe > 0:
+            if old.size >= offset_in_stripe:
+                pieces.append(old.slice(0, offset_in_stripe))
+            else:
+                pieces.append(old)
+                pieces.append(ZeroBytes(offset_in_stripe - old.size))
+        pieces.append(payload)
+        tail_start = offset_in_stripe + payload.size
+        if tail_start < new_len:
+            pieces.append(old.slice(tail_start, new_len - tail_start))
+        return concat(pieces)
+
+    # -- read path -----------------------------------------------------------------------
+
+    def read_plan(
+        self,
+        blob_id: int,
+        offset: int = 0,
+        size: Optional[int] = None,
+        version: Optional[int] = None,
+    ) -> List[ReadSegment]:
+        """Describe where each piece of the requested window lives."""
+        record = (
+            self.version_manager.latest(blob_id)
+            if version is None
+            else self.version_manager.record(blob_id, version)
+        )
+        blob_size = record.size
+        if size is None:
+            size = max(0, blob_size - offset)
+        if offset < 0 or size < 0 or offset + size > blob_size:
+            raise StorageError(
+                f"read window [{offset}, {offset + size}) outside blob of size {blob_size}"
+            )
+        if size == 0:
+            return []
+        chunk_size = self.version_manager.get(blob_id).chunk_size
+        first_stripe = offset // chunk_size
+        last_stripe = (offset + size - 1) // chunk_size
+        segments: List[ReadSegment] = []
+        for stripe in range(first_stripe, last_stripe + 1):
+            stripe_start = stripe * chunk_size
+            win_start = max(offset, stripe_start)
+            win_end = min(offset + size, stripe_start + chunk_size)
+            descriptor = self.metadata.lookup(blob_id, record.version, stripe)
+            segments.append(
+                ReadSegment(
+                    offset=win_start,
+                    length=win_end - win_start,
+                    descriptor=descriptor,
+                    chunk_offset=win_start - stripe_start,
+                )
+            )
+        return segments
+
+    def _read_version(self, blob_id: int, version: int, offset: int, size: int) -> ByteSource:
+        pieces: List[ByteSource] = []
+        for segment in self.read_plan(blob_id, offset, size, version):
+            if segment.descriptor is None:
+                pieces.append(ZeroBytes(segment.length))
+                continue
+            chunk = self.providers.fetch_any(
+                segment.descriptor.key, preferred=segment.descriptor.providers
+            )
+            available = chunk.data.size - segment.chunk_offset
+            take = min(segment.length, max(0, available))
+            if take > 0:
+                pieces.append(chunk.data.slice(segment.chunk_offset, take))
+            if take < segment.length:
+                pieces.append(ZeroBytes(segment.length - take))
+        return concat(pieces)
+
+    def read(
+        self,
+        blob_id: int,
+        offset: int = 0,
+        size: Optional[int] = None,
+        version: Optional[int] = None,
+    ) -> ByteSource:
+        """Read a byte range of a published version (latest by default)."""
+        record = (
+            self.version_manager.latest(blob_id)
+            if version is None
+            else self.version_manager.record(blob_id, version)
+        )
+        if size is None:
+            size = max(0, record.size - offset)
+        return self._read_version(blob_id, record.version, offset, size)
+
+    # -- clone / snapshot ---------------------------------------------------------------
+
+    def clone(self, blob_id: int, version: Optional[int] = None, tag: str = "") -> int:
+        """Create a new BLOB sharing all content with ``blob_id``@``version``."""
+        record = (
+            self.version_manager.latest(blob_id)
+            if version is None
+            else self.version_manager.record(blob_id, version)
+        )
+        new_blob = self.version_manager.create_blob(
+            self.version_manager.get(blob_id).chunk_size,
+            cloned_from=(blob_id, record.version),
+        )
+        self.metadata.clone_version(blob_id, record.version, new_blob)
+        self.version_manager.publish(
+            new_blob,
+            size=record.size,
+            incremental_bytes=0,
+            parent=None,
+            tag=tag or f"clone-of-{blob_id}@{record.version}",
+        )
+        return new_blob
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def storage_footprint(self) -> int:
+        """Total bytes physically stored across all providers (replicas included)."""
+        return self.providers.total_used_bytes
+
+    def version_footprint(self, blob_id: int, version: Optional[int] = None) -> int:
+        """Bytes of unique chunk data referenced by one version."""
+        record = (
+            self.version_manager.latest(blob_id)
+            if version is None
+            else self.version_manager.record(blob_id, version)
+        )
+        return self.metadata.version_footprint(blob_id, record.version)
+
+    def incremental_footprint(self, blob_id: int, version: int) -> int:
+        """Bytes of chunk data first introduced by ``version``."""
+        return self.metadata.incremental_footprint(blob_id, version)

@@ -1,0 +1,260 @@
+"""Segment-tree metadata with shadowing for BlobSeer.
+
+BlobSeer's metadata layer maps, for every published version of a BLOB, each
+stripe (chunk-sized range of the BLOB) to the descriptor of the chunk that
+holds its data.  Versions are created by *shadowing*: the tree of the new
+version shares every unchanged subtree with the tree it was derived from and
+allocates new nodes only along the paths to the modified stripes.  The same
+mechanism implements *cloning*: a clone simply starts from the root of the
+origin version.
+
+The implementation below is a persistent (immutable, structure-sharing)
+binary segment tree over stripe indices.  It tracks how many tree nodes each
+update allocates, which the deployment layer uses to charge metadata-provider
+I/O, and exposes range queries used by the read path.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.blobseer.provider import ChunkKey
+from repro.util.errors import StorageError, VersionNotFoundError
+
+
+@dataclass(frozen=True)
+class ChunkDescriptor:
+    """Metadata entry mapping one stripe of a BLOB version to stored data."""
+
+    #: stripe index within the BLOB (offset = stripe_index * chunk_size)
+    stripe_index: int
+    #: size in bytes of the data actually stored for this stripe
+    length: int
+    #: identity of the chunk holding the data
+    key: ChunkKey
+    #: provider ids that were asked to store the replicas
+    providers: Tuple[str, ...]
+    #: ``(blob_id, version)`` that first introduced this descriptor; used for
+    #: incremental-size accounting and garbage collection
+    created_by: Tuple[int, int]
+
+
+class SegmentNode:
+    """A node of the persistent segment tree.
+
+    Leaves cover exactly one stripe and carry an optional descriptor; inner
+    nodes cover ``[lo, hi)`` with two children of half the span.
+    """
+
+    __slots__ = ("lo", "hi", "left", "right", "descriptor")
+
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        left: Optional["SegmentNode"] = None,
+        right: Optional["SegmentNode"] = None,
+        descriptor: Optional[ChunkDescriptor] = None,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.left = left
+        self.right = right
+        self.descriptor = descriptor
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.hi - self.lo == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<SegmentNode [{self.lo},{self.hi}) leaf={self.is_leaf}>"
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+class _TreeBuilder:
+    """Builds a shadowed tree for one update batch, counting new nodes."""
+
+    def __init__(self, updates: Dict[int, Optional[ChunkDescriptor]]):
+        self.updates = updates
+        self._sorted_keys = sorted(updates)
+        self.new_nodes = 0
+
+    def _touched(self, lo: int, hi: int) -> bool:
+        """True if any update index falls in ``[lo, hi)`` (binary search)."""
+        pos = bisect.bisect_left(self._sorted_keys, lo)
+        return pos < len(self._sorted_keys) and self._sorted_keys[pos] < hi
+
+    def build(self, node: Optional[SegmentNode], lo: int, hi: int) -> Optional[SegmentNode]:
+        if not self._touched(lo, hi):
+            return node
+        self.new_nodes += 1
+        if hi - lo == 1:
+            descriptor = self.updates.get(lo, node.descriptor if node else None)
+            return SegmentNode(lo, hi, descriptor=descriptor)
+        mid = (lo + hi) // 2
+        left = self.build(node.left if node else None, lo, mid)
+        right = self.build(node.right if node else None, mid, hi)
+        return SegmentNode(lo, hi, left=left, right=right)
+
+
+class MetadataStore:
+    """Versioned stripe → chunk-descriptor maps for every BLOB.
+
+    The store is keyed by ``(blob_id, version)``; building version *v+1* from
+    version *v* shares all untouched subtrees (shadowing).  Cloning re-uses a
+    root under a different blob id.
+    """
+
+    def __init__(self) -> None:
+        self._roots: Dict[Tuple[int, int], Optional[SegmentNode]] = {}
+        self._capacity: Dict[Tuple[int, int], int] = {}
+        #: total segment-tree nodes ever allocated (metadata I/O accounting)
+        self.nodes_allocated = 0
+
+    # -- version management ------------------------------------------------------
+
+    def create_empty(self, blob_id: int, version: int = 0, stripes_hint: int = 1) -> None:
+        """Register an empty version (no stripes mapped)."""
+        key = (blob_id, version)
+        if key in self._roots:
+            raise StorageError(f"metadata for blob {blob_id} v{version} already exists")
+        self._roots[key] = None
+        self._capacity[key] = _next_power_of_two(max(1, stripes_hint))
+
+    def has_version(self, blob_id: int, version: int) -> bool:
+        return (blob_id, version) in self._roots
+
+    def _root(self, blob_id: int, version: int) -> Tuple[Optional[SegmentNode], int]:
+        key = (blob_id, version)
+        try:
+            return self._roots[key], self._capacity[key]
+        except KeyError:
+            raise VersionNotFoundError(
+                f"no metadata for blob {blob_id} version {version}"
+            ) from None
+
+    def derive_version(
+        self,
+        blob_id: int,
+        base_version: int,
+        new_version: int,
+        updates: Dict[int, Optional[ChunkDescriptor]],
+        *,
+        base_blob_id: Optional[int] = None,
+    ) -> int:
+        """Publish ``new_version`` of ``blob_id`` derived from ``base_version``.
+
+        ``updates`` maps stripe indices to their new descriptors (``None``
+        removes a mapping, used only by tests).  ``base_blob_id`` lets a clone
+        derive its first version from another BLOB's tree.  Returns the number
+        of tree nodes the shadowed update allocated.
+        """
+        source_blob = blob_id if base_blob_id is None else base_blob_id
+        root, capacity = self._root(source_blob, base_version)
+        max_stripe = max(updates.keys(), default=-1)
+        while capacity <= max_stripe:
+            # Grow the addressable range: the old root becomes the left child
+            # of a taller tree (a standard persistent-tree growth trick).
+            if root is not None:
+                grown = SegmentNode(0, capacity * 2, left=root, right=None)
+                self.nodes_allocated += 1
+                root = grown
+            capacity *= 2
+        builder = _TreeBuilder(updates)
+        new_root = builder.build(root, 0, capacity)
+        self.nodes_allocated += builder.new_nodes
+        key = (blob_id, new_version)
+        if key in self._roots:
+            raise StorageError(f"metadata for blob {blob_id} v{new_version} already exists")
+        self._roots[key] = new_root
+        self._capacity[key] = capacity
+        return builder.new_nodes
+
+    def clone_version(self, src_blob: int, src_version: int, dst_blob: int) -> None:
+        """Create version 0 of ``dst_blob`` sharing the whole tree of the source."""
+        root, capacity = self._root(src_blob, src_version)
+        key = (dst_blob, 0)
+        if key in self._roots:
+            raise StorageError(f"metadata for blob {dst_blob} v0 already exists")
+        self._roots[key] = root
+        self._capacity[key] = capacity
+
+    def drop_version(self, blob_id: int, version: int) -> None:
+        """Forget a version's root (garbage collection of metadata)."""
+        self._roots.pop((blob_id, version), None)
+        self._capacity.pop((blob_id, version), None)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def lookup(self, blob_id: int, version: int, stripe_index: int) -> Optional[ChunkDescriptor]:
+        root, capacity = self._root(blob_id, version)
+        if stripe_index < 0:
+            raise StorageError(f"negative stripe index {stripe_index}")
+        if stripe_index >= capacity:
+            return None
+        node = root
+        while node is not None:
+            if node.is_leaf:
+                return node.descriptor
+            mid = (node.lo + node.hi) // 2
+            node = node.left if stripe_index < mid else node.right
+        return None
+
+    def descriptors_in_range(
+        self, blob_id: int, version: int, first_stripe: int, last_stripe: int
+    ) -> List[ChunkDescriptor]:
+        """All descriptors with ``first_stripe <= stripe_index <= last_stripe``."""
+        root, _capacity = self._root(blob_id, version)
+        out: List[ChunkDescriptor] = []
+        self._collect(root, first_stripe, last_stripe, out)
+        return out
+
+    def iter_descriptors(self, blob_id: int, version: int) -> Iterator[ChunkDescriptor]:
+        root, capacity = self._root(blob_id, version)
+        out: List[ChunkDescriptor] = []
+        self._collect(root, 0, capacity - 1, out)
+        return iter(out)
+
+    def _collect(
+        self,
+        node: Optional[SegmentNode],
+        first: int,
+        last: int,
+        out: List[ChunkDescriptor],
+    ) -> None:
+        if node is None or last < node.lo or first > node.hi - 1:
+            return
+        if node.is_leaf:
+            if node.descriptor is not None:
+                out.append(node.descriptor)
+            return
+        self._collect(node.left, first, last, out)
+        self._collect(node.right, first, last, out)
+
+    # -- statistics ------------------------------------------------------------------
+
+    def version_footprint(self, blob_id: int, version: int) -> int:
+        """Total bytes of data referenced by a version (shared chunks counted once)."""
+        seen: set[ChunkKey] = set()
+        total = 0
+        for desc in self.iter_descriptors(blob_id, version):
+            if desc.key not in seen:
+                seen.add(desc.key)
+                total += desc.length
+        return total
+
+    def incremental_footprint(self, blob_id: int, version: int) -> int:
+        """Bytes introduced by ``version`` itself (descriptors it created)."""
+        total = 0
+        for desc in self.iter_descriptors(blob_id, version):
+            if desc.created_by == (blob_id, version):
+                total += desc.length
+        return total

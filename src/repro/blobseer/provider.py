@@ -1,0 +1,215 @@
+"""Data providers and chunk placement for BlobSeer.
+
+A *data provider* is the storage daemon that BlobSeer runs on every compute
+node's local disk: it stores opaque chunks keyed by ``(blob_id, chunk_id)``.
+The *provider manager* keeps track of all registered providers and hands out
+placement decisions (which providers should store the replicas of a new
+chunk) using a least-loaded policy with deterministic tie-breaking, which is
+what gives the checkpoint repository its even load distribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.util.bytesource import ByteSource
+from repro.util.errors import ChunkNotFoundError, StorageError
+
+
+class ChunkKey(NamedTuple):
+    """Globally unique identity of a stored chunk."""
+
+    blob_id: int
+    chunk_id: int
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """An immutable chunk of BLOB data."""
+
+    key: ChunkKey
+    data: ByteSource
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+
+class DataProvider:
+    """Chunk storage backed by one node's local disk."""
+
+    def __init__(self, provider_id: str, capacity: int = 10**18):
+        if capacity <= 0:
+            raise StorageError(f"provider capacity must be positive: {capacity}")
+        self.provider_id = provider_id
+        self.capacity = capacity
+        self._chunks: Dict[ChunkKey, Chunk] = {}
+        self._used = 0
+        self.alive = True
+        #: counters used by the deployment layer and the tests
+        self.stored_chunks_total = 0
+        self.fetched_chunks_total = 0
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    # -- chunk operations -----------------------------------------------------
+
+    def store(self, chunk: Chunk) -> None:
+        if not self.alive:
+            raise StorageError(f"provider {self.provider_id} is not alive")
+        if chunk.key in self._chunks:
+            # Chunks are immutable; re-storing the same key is idempotent.
+            return
+        if chunk.size > self.free_bytes:
+            raise StorageError(
+                f"provider {self.provider_id} is full "
+                f"({chunk.size} needed, {self.free_bytes} free)"
+            )
+        self._chunks[chunk.key] = chunk
+        self._used += chunk.size
+        self.stored_chunks_total += 1
+
+    def has(self, key: ChunkKey) -> bool:
+        return self.alive and key in self._chunks
+
+    def fetch(self, key: ChunkKey) -> Chunk:
+        if not self.alive:
+            raise ChunkNotFoundError(f"provider {self.provider_id} is not alive")
+        try:
+            chunk = self._chunks[key]
+        except KeyError:
+            raise ChunkNotFoundError(
+                f"chunk {key} not stored on provider {self.provider_id}"
+            ) from None
+        self.fetched_chunks_total += 1
+        return chunk
+
+    def delete(self, key: ChunkKey) -> bool:
+        """Remove a chunk (used by garbage collection). Returns True if present."""
+        chunk = self._chunks.pop(key, None)
+        if chunk is None:
+            return False
+        self._used -= chunk.size
+        return True
+
+    def keys(self) -> Iterable[ChunkKey]:
+        return self._chunks.keys()
+
+    def fail(self) -> None:
+        """Simulate a fail-stop crash: all locally stored chunks are lost."""
+        self.alive = False
+        self._chunks.clear()
+        self._used = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<DataProvider {self.provider_id} chunks={len(self._chunks)} "
+            f"used={self._used}B alive={self.alive}>"
+        )
+
+
+@dataclass
+class PlacementDecision:
+    """Where the replicas of one new chunk should be stored."""
+
+    key: ChunkKey
+    providers: List[str] = field(default_factory=list)
+
+
+class ProviderManager:
+    """Registry and placement policy for data providers.
+
+    Placement is least-loaded-first over live providers with a deterministic
+    round-robin tie-break, which spreads a burst of same-sized chunks (the
+    common case when committing a disk snapshot) evenly across providers.
+    """
+
+    def __init__(self, replication: int = 1):
+        if replication < 1:
+            raise StorageError(f"replication factor must be >= 1: {replication}")
+        self.replication = replication
+        self._providers: Dict[str, DataProvider] = {}
+        self._rr = itertools.count()
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, provider: DataProvider) -> None:
+        if provider.provider_id in self._providers:
+            raise StorageError(f"provider {provider.provider_id} already registered")
+        self._providers[provider.provider_id] = provider
+
+    def deregister(self, provider_id: str) -> None:
+        self._providers.pop(provider_id, None)
+
+    def get(self, provider_id: str) -> DataProvider:
+        try:
+            return self._providers[provider_id]
+        except KeyError:
+            raise StorageError(f"unknown provider {provider_id}") from None
+
+    @property
+    def providers(self) -> List[DataProvider]:
+        return list(self._providers.values())
+
+    @property
+    def live_providers(self) -> List[DataProvider]:
+        return [p for p in self._providers.values() if p.alive]
+
+    @property
+    def total_used_bytes(self) -> int:
+        return sum(p.used_bytes for p in self._providers.values())
+
+    # -- placement ---------------------------------------------------------------
+
+    def place(self, key: ChunkKey, size: int) -> PlacementDecision:
+        """Choose ``replication`` distinct live providers for a new chunk."""
+        live = [p for p in self._providers.values() if p.alive and p.free_bytes >= size]
+        if not live:
+            raise StorageError("no live data provider has room for the chunk")
+        count = min(self.replication, len(live))
+        tie = next(self._rr)
+        ranked = sorted(
+            live,
+            key=lambda p: (p.used_bytes, (hash(p.provider_id) + tie) % len(live)),
+        )
+        return PlacementDecision(key=key, providers=[p.provider_id for p in ranked[:count]])
+
+    def store_replicated(self, chunk: Chunk, placement: Optional[PlacementDecision] = None
+                         ) -> PlacementDecision:
+        """Store ``chunk`` on the providers chosen by ``placement`` (or pick them)."""
+        decision = placement or self.place(chunk.key, chunk.size)
+        for provider_id in decision.providers:
+            self.get(provider_id).store(chunk)
+        return decision
+
+    def fetch_any(self, key: ChunkKey, preferred: Iterable[str] = ()) -> Chunk:
+        """Fetch a chunk from the first live provider that still has it."""
+        tried = []
+        for provider_id in list(preferred):
+            tried.append(provider_id)
+            provider = self._providers.get(provider_id)
+            if provider is not None and provider.has(key):
+                return provider.fetch(key)
+        for provider in self._providers.values():
+            if provider.provider_id in tried:
+                continue
+            if provider.has(key):
+                return provider.fetch(key)
+        raise ChunkNotFoundError(f"chunk {key} is not stored on any live provider")
+
+    def locations(self, key: ChunkKey) -> List[str]:
+        return [p.provider_id for p in self._providers.values() if p.has(key)]

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro`` / ``blobcr-repro``.
+
+Runs any subset of the paper's experiments at a chosen scale and prints the
+resulting tables.  ``--paper-scale`` uses the original axis (up to 120 VMs /
+400 CM1 processes), which takes several minutes; the default reduced scale
+reproduces the same qualitative shapes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+from repro.experiments.fig6_cm1 import BENCH_CM1_PROCESSES, PAPER_CM1_PROCESSES
+from repro.experiments.harness import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
+
+_ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "table1")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="blobcr-repro",
+        description="Reproduce the evaluation of BlobCR (SC'11).",
+    )
+    parser.add_argument("experiments", nargs="*", default=list(_ALL),
+                        help=f"which experiments to run (default: all of {', '.join(_ALL)})")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full scale (slower)")
+    args = parser.parse_args(argv)
+
+    unknown = [e for e in args.experiments if e not in _ALL]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    scale = PAPER_SCALE_POINTS if args.paper_scale else BENCH_SCALE_POINTS
+    cm1_scale = PAPER_CM1_PROCESSES if args.paper_scale else BENCH_CM1_PROCESSES
+
+    runners = {
+        "fig2": lambda: run_fig2(scale_points=scale),
+        "fig3": lambda: run_fig3(scale_points=scale),
+        "fig4": lambda: run_fig4(),
+        "fig5": lambda: run_fig5(),
+        "fig6": lambda: run_fig6(process_counts=cm1_scale),
+        "table1": lambda: run_table1(processes=cm1_scale[0]),
+    }
+    for name in args.experiments:
+        result = runners[name]()
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

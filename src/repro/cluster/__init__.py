@@ -1,0 +1,30 @@
+"""The simulated IaaS cloud: nodes, network, hypervisors, PVFS, failures.
+
+This package provides the *timing* substrate of the reproduction.  It is a
+discrete-event model of the Grid'5000 *graphene* cluster the paper used:
+compute nodes with a local SATA disk and a Gigabit NIC, a shared switch
+fabric, a KVM-like hypervisor per node, a PVFS deployment for the baselines,
+and fail-stop failure injection.
+
+The functional storage layers (BlobSeer, qcow2, the guest file system) do the
+actual data management; the classes here charge simulated time for the bytes
+those layers move.
+"""
+
+from repro.cluster.network import Network
+from repro.cluster.node import ComputeNode, LocalDisk
+from repro.cluster.cloud import Cloud
+from repro.cluster.hypervisor import Hypervisor
+from repro.cluster.pvfs import PVFSDeployment, PVFSFile
+from repro.cluster.failures import FailureInjector
+
+__all__ = [
+    "Network",
+    "ComputeNode",
+    "LocalDisk",
+    "Cloud",
+    "Hypervisor",
+    "PVFSDeployment",
+    "PVFSFile",
+    "FailureInjector",
+]

@@ -1,0 +1,122 @@
+"""Top-level assembly of the simulated IaaS cloud."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.network import Network
+from repro.cluster.node import ComputeNode
+from repro.sim.core import Environment, Event
+from repro.util.config import ClusterSpec, GRAPHENE
+from repro.util.errors import SimulationError
+from repro.util.rng import make_rng
+
+
+class Cloud:
+    """The simulated datacenter: environment, network, compute and service nodes.
+
+    Node naming follows the paper's deployment: ``node-XXX`` are compute
+    nodes that host VM instances, data providers, mirroring modules and
+    checkpointing proxies; ``service-XX`` are the dedicated nodes running the
+    BlobSeer version manager, provider manager and metadata providers (or the
+    PVFS metadata server for the baselines).
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None):
+        self.spec = spec or GRAPHENE
+        self.spec.validate()
+        self.env = Environment()
+        self.network = Network(self.env, self.spec.network)
+        self.compute_nodes: List[ComputeNode] = [
+            ComputeNode(self.env, self.network, self.spec.disk, f"node-{i:03d}",
+                        cores=self.spec.vm.vcpus)
+            for i in range(self.spec.compute_nodes)
+        ]
+        self.service_nodes: List[ComputeNode] = [
+            ComputeNode(self.env, self.network, self.spec.disk, f"service-{i:02d}",
+                        cores=self.spec.vm.vcpus)
+            for i in range(self.spec.service_nodes)
+        ]
+        self._nodes: Dict[str, ComputeNode] = {
+            n.name: n for n in self.compute_nodes + self.service_nodes
+        }
+        self._rng = make_rng("cloud", self.spec.seed)
+
+    # -- lookup -----------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def node(self, name: str) -> ComputeNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name}") from None
+
+    @property
+    def nodes(self) -> List[ComputeNode]:
+        return list(self._nodes.values())
+
+    def live_compute_nodes(self) -> List[ComputeNode]:
+        return [n for n in self.compute_nodes if n.alive]
+
+    # -- composite I/O helpers -----------------------------------------------------------
+
+    def remote_write(self, src: str, dst: str, nbytes: float, label: str = "") -> Event:
+        """Ship ``nbytes`` from node ``src`` and persist them on ``dst``'s disk."""
+        dst_node = self.node(dst)
+        dst_node.check_alive()
+        self.node(src).check_alive()
+        dst_node.disk.bytes_written += int(nbytes)
+        return self.network.transfer(
+            src, dst, nbytes, label=label or f"remote-write:{src}->{dst}",
+            extra_channels=[dst_node.disk.channel],
+        )
+
+    def remote_read(self, src: str, dst: str, nbytes: float, label: str = "") -> Event:
+        """Read ``nbytes`` stored on ``src``'s disk into node ``dst``."""
+        src_node = self.node(src)
+        src_node.check_alive()
+        self.node(dst).check_alive()
+        src_node.disk.bytes_read += int(nbytes)
+        return self.network.transfer(
+            src, dst, nbytes, label=label or f"remote-read:{src}->{dst}",
+            extra_channels=[src_node.disk.channel],
+        )
+
+    def local_write(self, node: str, nbytes: float, label: str = "") -> Event:
+        return self.node(node).disk.write(nbytes, label=label)
+
+    def local_read(self, node: str, nbytes: float, label: str = "") -> Event:
+        return self.node(node).disk.read(nbytes, label=label)
+
+    # -- jitter -----------------------------------------------------------------------------
+
+    def jittered(self, nominal: float, key: object = None) -> float:
+        """Apply the cluster's execution-time jitter to a nominal duration.
+
+        Identical VMs never run in perfect lockstep; the paper's adaptive
+        prefetching explicitly exploits these small delays.  The jitter is
+        deterministic given ``key``.
+        """
+        if nominal <= 0 or self.spec.jitter <= 0:
+            return max(0.0, nominal)
+        rng = self._rng if key is None else make_rng("jitter", self.spec.seed, key)
+        factor = 1.0 + float(rng.uniform(-self.spec.jitter, self.spec.jitter))
+        return max(0.0, nominal * factor)
+
+    # -- running ---------------------------------------------------------------------------
+
+    def run(self, until=None):
+        """Run the simulation (thin wrapper over ``Environment.run``)."""
+        return self.env.run(until)
+
+    def process(self, generator, name: str = ""):
+        return self.env.process(generator, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Cloud compute={len(self.compute_nodes)} service={len(self.service_nodes)} "
+            f"t={self.env.now:.3f}>"
+        )

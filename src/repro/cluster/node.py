@@ -1,0 +1,141 @@
+"""Compute nodes and their local disks."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.bandwidth import FairShareChannel
+from repro.sim.core import Environment, Event
+from repro.cluster.network import Network
+from repro.util.config import DiskSpec
+from repro.util.errors import FailureInjected, SimulationError, StorageError
+
+
+class LocalDisk:
+    """Timing and capacity model of a node-local disk.
+
+    Reads and writes are fluid flows through a single shared channel (the
+    disk head), preceded by a positioning latency.  Capacity accounting is
+    byte-granular: the storage services that keep data on the disk call
+    :meth:`reserve` / :meth:`release`.
+    """
+
+    def __init__(self, env: Environment, network: Network, spec: DiskSpec, name: str):
+        spec.validate()
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.channel: FairShareChannel = network.bandwidth.channel(
+            spec.bandwidth, f"{name}.disk"
+        )
+        self._network = network
+        self._used = 0
+        self.alive = True
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- capacity ---------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity - self._used
+
+    def reserve(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise StorageError(f"cannot reserve a negative amount: {nbytes}")
+        if nbytes > self.free_bytes:
+            raise StorageError(
+                f"disk {self.name} full: need {nbytes}, free {self.free_bytes}"
+            )
+        self._used += nbytes
+
+    def release(self, nbytes: int) -> None:
+        self._used = max(0, self._used - nbytes)
+
+    # -- I/O ----------------------------------------------------------------------------
+
+    def _io(self, nbytes: float, label: str) -> Event:
+        if not self.alive:
+            raise FailureInjected(f"disk {self.name} is dead", node=self.name)
+        return self._network.bandwidth.transfer(
+            nbytes, [self.channel], latency=self.spec.latency, label=label
+        )
+
+    def read(self, nbytes: float, label: str = "") -> Event:
+        self.bytes_read += int(nbytes)
+        return self._io(nbytes, label or f"{self.name}.read")
+
+    def write(self, nbytes: float, label: str = "") -> Event:
+        self.bytes_written += int(nbytes)
+        return self._io(nbytes, label or f"{self.name}.write")
+
+    def fail(self) -> None:
+        self.alive = False
+        self._network.bandwidth.fail_channel(
+            self.channel, FailureInjected(f"disk {self.name} failed", node=self.name)
+        )
+        self._used = 0
+
+
+class ComputeNode:
+    """A physical machine of the IaaS cloud.
+
+    Hosts VM instances, a data provider of the checkpoint repository, a
+    mirroring module and a checkpointing proxy (all registered by the higher
+    layers).  Failure follows the fail-stop model: when the node dies, every
+    hosted VM and all locally stored data are lost, and every in-flight
+    transfer touching the node aborts.
+    """
+
+    def __init__(self, env: Environment, network: Network, disk_spec: DiskSpec, name: str,
+                 cores: int = 4):
+        self.env = env
+        self.name = name
+        self.cores = cores
+        self.network = network
+        network.attach(name)
+        self.disk = LocalDisk(env, network, disk_spec, name)
+        self.alive = True
+        #: callbacks invoked (once) when the node fails
+        self._failure_listeners: List[Callable[["ComputeNode"], None]] = []
+        #: opaque services registered on the node (proxy, provider, ...)
+        self.services: dict[str, object] = {}
+        #: instance ids of VMs currently hosted here
+        self.hosted_instances: List[str] = []
+
+    # -- service registry ------------------------------------------------------------------
+
+    def register_service(self, kind: str, service: object) -> None:
+        self.services[kind] = service
+
+    def service(self, kind: str) -> object:
+        try:
+            return self.services[kind]
+        except KeyError:
+            raise SimulationError(f"node {self.name} runs no {kind!r} service") from None
+
+    # -- failure -------------------------------------------------------------------------------
+
+    def on_failure(self, callback: Callable[["ComputeNode"], None]) -> None:
+        self._failure_listeners.append(callback)
+
+    def fail(self) -> None:
+        """Fail-stop crash: NIC, disk and everything hosted here is gone."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.network.node_down(self.name)
+        self.disk.fail()
+        for listener in list(self._failure_listeners):
+            listener(self)
+
+    def check_alive(self) -> None:
+        if not self.alive:
+            raise FailureInjected(f"node {self.name} is down", node=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<ComputeNode {self.name} alive={self.alive} vms={len(self.hosted_instances)}>"

@@ -1,0 +1,55 @@
+"""Construction of the base guest disk image.
+
+The paper uses a 2 GB raw image holding a Debian Sid installation.  We build
+an equivalent synthetic image: a formatted guest file system populated with
+"operating system" files whose combined size matches a minimal Debian
+installation.  The files written first occupy the beginning of the image, so
+the boot-time working set (kernel, init, shared libraries) corresponds to the
+lowest image offsets -- which is what the lazy-transfer / prefetching logic
+uses as the *hot* region.
+"""
+
+from __future__ import annotations
+
+from repro.guest.filesystem import GuestFileSystem
+from repro.util.bytesource import SyntheticBytes
+from repro.util.config import ClusterSpec
+from repro.vdisk.raw import RawImage
+
+#: total size of the installed guest OS in the base image
+DEFAULT_OS_BYTES = 600 * 10**6
+#: number of synthetic OS files (kernel, initrd, libraries, binaries, ...)
+DEFAULT_OS_FILES = 48
+
+_OS_PATH_TEMPLATES = [
+    "/boot/vmlinuz",
+    "/boot/initrd.img",
+    "/lib/libc.so.6",
+    "/lib/modules/kernel.ko",
+    "/sbin/init",
+    "/bin/bash",
+    "/usr/bin/python",
+    "/usr/lib/libstdc++.so",
+]
+
+
+def build_base_image(spec: ClusterSpec, os_bytes: int = DEFAULT_OS_BYTES,
+                     os_files: int = DEFAULT_OS_FILES, label: str = "debian-sid") -> RawImage:
+    """Create the raw base image used by every experiment.
+
+    The image contains a formatted guest file system with ``os_files``
+    synthetic files totalling ``os_bytes``; the content is deterministic for
+    a given ``label``.
+    """
+    image = RawImage(spec.vm.disk_size, block_size=spec.checkpoint.cow_block_size,
+                     name=f"base:{label}")
+    fs = GuestFileSystem.format(image)
+    per_file = max(4096, os_bytes // max(1, os_files))
+    for i in range(os_files):
+        if i < len(_OS_PATH_TEMPLATES):
+            path = _OS_PATH_TEMPLATES[i]
+        else:
+            path = f"/usr/share/os/payload-{i:03d}.bin"
+        fs.write_file(path, SyntheticBytes(("base-image", label, i), per_file))
+    fs.sync()
+    return image

@@ -1,0 +1,143 @@
+"""The mirroring module.
+
+The mirroring module is BlobCR's answer to "how do I snapshot a running VM's
+disk without restarting the hypervisor".  It sits between the hypervisor and
+the checkpoint repository and
+
+* exposes the remotely stored image as a plain **raw device** (maximum
+  hypervisor compatibility),
+* serves reads from a local cache, fetching missing content from the
+  repository on demand (*lazy transfer* / mirroring),
+* stores all guest writes locally as copy-on-write differences at a fixed
+  block granularity,
+* implements the two ioctls the checkpointing proxy uses:
+
+  - ``CLONE``: create the checkpoint image as a clone of the base image
+    (first checkpoint only),
+  - ``COMMIT``: publish every block dirtied since the previous commit as one
+    incremental snapshot of the checkpoint image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.blobseer.client import WriteResult
+from repro.core.device import RemoteBlobDevice
+from repro.core.repository import CheckpointRepository
+from repro.util.bytesource import ByteSource
+from repro.util.config import CheckpointSpec
+from repro.util.errors import SnapshotError
+from repro.vdisk.blockdev import BlockDevice, SparseDevice
+from repro.vdisk.dirty import DirtyTracker
+
+
+class MirroringModule(BlockDevice):
+    """Raw-device facade with local COW and CLONE/COMMIT ioctls."""
+
+    def __init__(
+        self,
+        repository: CheckpointRepository,
+        node_name: str,
+        instance_id: str,
+        base_blob_id: int,
+        base_version: Optional[int] = None,
+        disk_size: Optional[int] = None,
+        spec: Optional[CheckpointSpec] = None,
+        checkpoint_blob_id: Optional[int] = None,
+    ):
+        self.repository = repository
+        self.node_name = node_name
+        self.instance_id = instance_id
+        self.spec = spec or repository.cloud.spec.checkpoint
+        self.base_blob_id = base_blob_id
+        size = disk_size if disk_size is not None else repository.cloud.spec.vm.disk_size
+        self.remote = RemoteBlobDevice(
+            repository.client, base_blob_id, version=base_version, size=size,
+            name=f"{instance_id}.base",
+        )
+        self._local = SparseDevice(size, block_size=self.spec.cow_block_size,
+                                   base=self.remote, name=f"{instance_id}.cow")
+        self.dirty = DirtyTracker(self.spec.cow_block_size)
+        #: the checkpoint image (created by the first CLONE, or inherited when
+        #: the instance was re-deployed from an earlier checkpoint image)
+        self.checkpoint_blob_id = checkpoint_blob_id
+        #: versions of the checkpoint image produced by COMMITs of this module
+        self.committed_versions: List[int] = []
+        self.commit_bytes_total = 0
+
+    # -- BlockDevice facade (what the hypervisor / guest FS sees) ----------------------------
+
+    @property
+    def size(self) -> int:
+        return self._local.size
+
+    @property
+    def block_size(self) -> int:
+        return self.spec.cow_block_size
+
+    def read(self, offset: int, length: int) -> ByteSource:
+        return self._local.read(offset, length)
+
+    def write(self, offset: int, data: ByteSource) -> None:
+        self._local.write(offset, data)
+        self.dirty.mark_window(offset, data.size)
+
+    # -- introspection ----------------------------------------------------------------------
+
+    @property
+    def locally_modified_bytes(self) -> int:
+        """Bytes of local copy-on-write content accumulated since deployment."""
+        return self._local.allocated_bytes
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Upper bound of bytes the next COMMIT will ship."""
+        return self.dirty.dirty_bytes
+
+    @property
+    def remote_bytes_fetched(self) -> int:
+        return self.remote.remote_bytes_fetched
+
+    def hot_chunk_keys(self, offset: int, length: int) -> Set:
+        """Chunk keys backing a byte range of the base snapshot (prefetch planning)."""
+        plan = self.repository.client.read_plan(
+            self.base_blob_id, offset, length, version=self.remote.version
+        )
+        return {seg.descriptor.key for seg in plan if seg.descriptor is not None}
+
+    # -- ioctls ------------------------------------------------------------------------------
+
+    def clone(self) -> Generator:
+        """Simulation process: ``CLONE`` -- create the checkpoint image if needed."""
+        if self.checkpoint_blob_id is None:
+            self.checkpoint_blob_id = yield from self.repository.clone_image(
+                self.node_name, self.base_blob_id, version=self.remote.version,
+                tag=f"checkpoint-image:{self.instance_id}",
+            )
+        return self.checkpoint_blob_id
+
+    def commit(self, tag: str = "") -> Generator:
+        """Simulation process: ``COMMIT`` -- publish the dirty blocks as a snapshot.
+
+        Returns the :class:`WriteResult`; its ``version`` identifies the new
+        incremental snapshot inside the checkpoint image.
+        """
+        if self.checkpoint_blob_id is None:
+            raise SnapshotError(
+                f"COMMIT before CLONE on instance {self.instance_id}"
+            )
+        dirty_blocks = self.dirty.close_epoch()
+        blocks: Dict[int, ByteSource] = {}
+        for index in sorted(dirty_blocks):
+            payload = self._local.block_payload(index)
+            if payload is not None and payload.size > 0:
+                blocks[index] = payload
+        result: WriteResult = yield from self.repository.commit_blocks(
+            self.node_name, self.checkpoint_blob_id, blocks,
+            block_size=self.spec.cow_block_size,
+            tag=tag or f"commit:{self.instance_id}",
+        )
+        self.committed_versions.append(result.version)
+        self.commit_bytes_total += result.bytes_written
+        return result

@@ -1,0 +1,279 @@
+"""Common deployment / checkpoint / restart interface.
+
+BlobCR and the two qcow2-over-PVFS baselines are all expressed as
+:class:`Deployment` subclasses so that the applications, the experiment
+harness and the benchmarks can drive them interchangeably:
+
+* ``deploy(n)`` -- multi-deployment of ``n`` instances from the base image,
+* ``checkpoint_all()`` -- take a global checkpoint (stage 2 of the paper's
+  two-stage procedure; stage 1 -- getting process state into guest files --
+  is performed by the application or the coordinated protocol beforehand),
+* ``restart_all(checkpoint)`` -- kill everything and re-deploy every instance
+  on a different node from its snapshot, remounting the guest file system and
+  charging the reads needed to restore process state.
+
+Every method that advances simulated time is a generator meant to be wrapped
+in ``cloud.process(...)`` (or driven by ``yield from`` inside another
+process).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cluster.cloud import Cloud
+from repro.cluster.hypervisor import Hypervisor
+from repro.guest.filesystem import GuestFileSystem
+from repro.guest.vm import VMInstance
+from repro.util.bytesource import ByteSource
+from repro.util.errors import CheckpointError, RestartError
+
+
+@dataclass
+class CheckpointRecord:
+    """Snapshot of one instance inside a global checkpoint."""
+
+    instance_id: str
+    #: strategy-specific identifier of the stored snapshot
+    #: (BlobCR: (blob id, version); baselines: PVFS file name)
+    snapshot_ref: Any
+    #: bytes this snapshot added to persistent storage
+    snapshot_bytes: int
+    #: wall-clock (simulated) duration of the per-instance snapshot
+    duration: float
+    #: files the instance must read back to restore process state
+    restore_paths: List[str] = field(default_factory=list)
+
+
+@dataclass
+class GlobalCheckpoint:
+    """A globally consistent set of per-instance snapshots."""
+
+    index: int
+    started_at: float
+    finished_at: float
+    records: Dict[str, CheckpointRecord] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def total_snapshot_bytes(self) -> int:
+        return sum(r.snapshot_bytes for r in self.records.values())
+
+    @property
+    def max_snapshot_bytes(self) -> int:
+        return max((r.snapshot_bytes for r in self.records.values()), default=0)
+
+
+@dataclass
+class DeployedInstance:
+    """One VM instance managed by a deployment strategy."""
+
+    instance_id: str
+    vm: VMInstance
+    node_name: str
+    hypervisor: Hypervisor
+    #: strategy-specific backend (mirroring module, local qcow2 image, ...)
+    backend: Any = None
+
+    @property
+    def filesystem(self) -> GuestFileSystem:
+        return self.vm.filesystem
+
+
+@dataclass
+class RestartReport:
+    """Outcome of a global restart."""
+
+    started_at: float
+    finished_at: float
+    instances: List[str] = field(default_factory=list)
+    bytes_restored: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class Deployment(abc.ABC):
+    """Base class of the three evaluated checkpoint-restart strategies."""
+
+    #: label used by the experiment harness ("BlobCR", "qcow2-disk", "qcow2-full")
+    name: str = "abstract"
+
+    def __init__(self, cloud: Cloud):
+        self.cloud = cloud
+        self.instances: List[DeployedInstance] = []
+        self.checkpoints: List[GlobalCheckpoint] = []
+        self._checkpoint_index = 0
+
+    # -- to be provided by each strategy ------------------------------------------------------
+
+    @abc.abstractmethod
+    def deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
+        """Simulation process: deploy ``count`` instances from the base image."""
+
+    @abc.abstractmethod
+    def checkpoint_instance(self, instance: DeployedInstance, tag: str = "") -> Generator:
+        """Simulation process: snapshot one instance; returns a CheckpointRecord."""
+
+    @abc.abstractmethod
+    def restart_instance(self, instance: DeployedInstance, record: CheckpointRecord,
+                         target_node: str) -> Generator:
+        """Simulation process: re-deploy one instance from its snapshot on ``target_node``."""
+
+    @abc.abstractmethod
+    def storage_used_bytes(self) -> int:
+        """Persistent storage currently consumed by base images + snapshots."""
+
+    # -- generic orchestration -----------------------------------------------------------------
+
+    def instance_by_id(self, instance_id: str) -> DeployedInstance:
+        for instance in self.instances:
+            if instance.instance_id == instance_id:
+                return instance
+        raise CheckpointError(f"unknown instance {instance_id}")
+
+    def checkpoint_all(self, tag: str = "", instances: Optional[List[DeployedInstance]] = None
+                       ) -> Generator:
+        """Simulation process: take a global checkpoint of all (or some) instances.
+
+        Per-instance snapshots proceed concurrently; the global checkpoint
+        completes when the slowest instance has persisted its snapshot, which
+        is exactly the completion time the paper's Figures 2, 5a and 6 report.
+        """
+        targets = instances if instances is not None else self.instances
+        if not targets:
+            raise CheckpointError("no deployed instance to checkpoint")
+        self._checkpoint_index += 1
+        index = self._checkpoint_index
+        started = self.cloud.now
+        procs = [
+            self.cloud.process(
+                self.checkpoint_instance(inst, tag=tag or f"ckpt-{index}"),
+                name=f"ckpt:{inst.instance_id}",
+            )
+            for inst in targets
+        ]
+        results = yield self.cloud.env.all_of(procs)
+        checkpoint = GlobalCheckpoint(index=index, started_at=started,
+                                      finished_at=self.cloud.now)
+        for proc in procs:
+            record: CheckpointRecord = results[proc]
+            checkpoint.records[record.instance_id] = record
+        self.checkpoints.append(checkpoint)
+        return checkpoint
+
+    def kill_all(self) -> None:
+        """Terminate every instance (simulating the loss of all VM state)."""
+        for instance in self.instances:
+            node = self.cloud.node(instance.node_name)
+            if instance.vm.instance_id in node.hosted_instances:
+                node.hosted_instances.remove(instance.vm.instance_id)
+            instance.vm.terminate()
+
+    def restart_targets(self, offset: int = 1) -> Dict[str, str]:
+        """Choose a new (different) host for every instance.
+
+        The paper re-deploys each instance on a different compute node than
+        the one it originally ran on, to rule out caching effects.
+        """
+        live = [n.name for n in self.cloud.live_compute_nodes()]
+        if not live:
+            raise RestartError("no live compute node available for restart")
+        mapping: Dict[str, str] = {}
+        for i, instance in enumerate(self.instances):
+            candidates = [n for n in live if n != instance.node_name] or live
+            mapping[instance.instance_id] = candidates[(i + offset) % len(candidates)]
+        return mapping
+
+    def restart_all(self, checkpoint: GlobalCheckpoint,
+                    target_nodes: Optional[Dict[str, str]] = None) -> Generator:
+        """Simulation process: kill everything and restart from ``checkpoint``.
+
+        Completion time spans from the beginning of re-deployment until every
+        instance has rebooted (or resumed) and restored its process state --
+        the quantity reported by Figure 3.
+        """
+        if not checkpoint.records:
+            raise RestartError("cannot restart from an empty checkpoint")
+        self.kill_all()
+        mapping = target_nodes or self.restart_targets()
+        started = self.cloud.now
+        procs = []
+        for instance in self.instances:
+            record = checkpoint.records.get(instance.instance_id)
+            if record is None:
+                raise RestartError(
+                    f"checkpoint {checkpoint.index} has no snapshot of {instance.instance_id}"
+                )
+            target = mapping[instance.instance_id]
+            procs.append(self.cloud.process(
+                self.restart_instance(instance, record, target),
+                name=f"restart:{instance.instance_id}",
+            ))
+        results = yield self.cloud.env.all_of(procs)
+        report = RestartReport(started_at=started, finished_at=self.cloud.now)
+        for proc in procs:
+            restored = results[proc] or 0
+            report.bytes_restored += int(restored)
+        report.instances = [i.instance_id for i in self.instances]
+        return report
+
+    # -- common helpers for subclasses ------------------------------------------------------------
+
+    def _place_instances(self, count: int) -> List[str]:
+        nodes = self.cloud.live_compute_nodes()
+        if count > len(nodes):
+            raise CheckpointError(
+                f"cannot deploy {count} instances on {len(nodes)} compute nodes "
+                "(one instance per node, as in the paper)"
+            )
+        return [nodes[i].name for i in range(count)]
+
+    def guest_sync(self, instance: DeployedInstance) -> Generator:
+        """Simulation process: flush the guest page cache (the ``sync`` system call).
+
+        The flushed bytes land on the virtual disk, i.e. on the node's local
+        disk (through the mirroring module or the local qcow2 image), so the
+        cost is a local disk write plus the fixed sync overhead.
+        """
+        fs = instance.filesystem
+        synced = fs.sync()
+        spec = self.cloud.spec.checkpoint
+        yield self.cloud.env.timeout(self.cloud.jittered(spec.sync_overhead,
+                                                         ("sync", instance.instance_id)))
+        if synced > 0:
+            yield self.cloud.node(instance.vm.host or instance.node_name).disk.write(
+                synced, label=f"guest-sync:{instance.instance_id}"
+            )
+        return synced
+
+    def guest_write_and_sync(self, instance: DeployedInstance, path: str,
+                             data: ByteSource, append: bool = False) -> Generator:
+        """Simulation process: write a guest file, ``sync``, charge the local I/O.
+
+        This is "stage 1" of the two-stage checkpoint: getting process state
+        into the guest file system.
+        """
+        fs = instance.filesystem
+        fs.write_file(path, data, append=append)
+        synced = yield from self.guest_sync(instance)
+        return synced
+
+    def guest_read(self, instance: DeployedInstance, path: str) -> Generator:
+        """Simulation process: read a guest file, charging local disk time.
+
+        Remote fetches triggered by the read (lazy transfer of snapshot
+        content) are charged separately by the strategy's restart path.
+        """
+        fs = instance.filesystem
+        data = fs.read_file(path)
+        yield self.cloud.node(instance.vm.host or instance.node_name).disk.read(
+            data.size, label=f"guest-read:{instance.instance_id}"
+        )
+        return data

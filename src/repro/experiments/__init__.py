@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every experiment returns an :class:`~repro.experiments.harness.ExperimentResult`
+whose rows carry the same quantities the paper plots; the benchmarks under
+``benchmarks/`` and the CLI (``python -m repro``) print them.  See
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.experiments.harness import (
+    APPROACHES,
+    CM1_APPROACHES,
+    ExperimentResult,
+    ScenarioOutcome,
+    run_synthetic_scenario,
+)
+from repro.experiments.fig2_checkpoint import run_fig2
+from repro.experiments.fig3_restart import run_fig3
+from repro.experiments.fig4_snapshot_size import run_fig4
+from repro.experiments.fig5_successive import run_fig5
+from repro.experiments.fig6_cm1 import run_fig6
+from repro.experiments.table1_cm1_size import run_table1
+
+__all__ = [
+    "APPROACHES",
+    "CM1_APPROACHES",
+    "ExperimentResult",
+    "ScenarioOutcome",
+    "run_synthetic_scenario",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+]

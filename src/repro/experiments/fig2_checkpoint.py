@@ -1,0 +1,42 @@
+"""Figure 2: completion time to checkpoint an increasing number of processes.
+
+One process per VM instance, data buffers of 50 MB (Fig. 2a) and 200 MB
+(Fig. 2b), five approaches.  The reported quantity is the time from the
+moment the global checkpoint is requested until every snapshot is persisted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import (
+    APPROACHES,
+    BENCH_SCALE_POINTS,
+    PAPER_BUFFER_SIZES,
+    ExperimentResult,
+    run_synthetic_scenario,
+)
+from repro.util.config import ClusterSpec
+
+
+def run_fig2(
+    scale_points: Sequence[int] = BENCH_SCALE_POINTS,
+    buffer_sizes: Sequence[int] = PAPER_BUFFER_SIZES,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> ExperimentResult:
+    """Regenerate the series of Figure 2 (a and b)."""
+    result = ExperimentResult(
+        experiment="fig2",
+        description="checkpoint completion time vs number of processes (s)",
+    )
+    for buffer_bytes in buffer_sizes:
+        for instances in scale_points:
+            row = {"buffer_MB": buffer_bytes // 10**6, "processes": instances}
+            for approach in approaches:
+                outcome = run_synthetic_scenario(
+                    approach, instances, buffer_bytes, spec=spec, include_restart=False
+                )
+                row[approach] = outcome.checkpoint_time
+            result.rows.append(row)
+    return result

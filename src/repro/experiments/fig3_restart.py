@@ -1,0 +1,44 @@
+"""Figure 3: completion time to restart an increasing number of processes.
+
+All instances are killed and re-deployed on different compute nodes using the
+snapshots of the previous global checkpoint as their virtual disks; except
+for ``qcow2-full`` the guest OS reboots and the processes restore their state
+from the saved files.  The reported time spans re-deployment through the last
+successful state restoration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import (
+    APPROACHES,
+    BENCH_SCALE_POINTS,
+    PAPER_BUFFER_SIZES,
+    ExperimentResult,
+    run_synthetic_scenario,
+)
+from repro.util.config import ClusterSpec
+
+
+def run_fig3(
+    scale_points: Sequence[int] = BENCH_SCALE_POINTS,
+    buffer_sizes: Sequence[int] = PAPER_BUFFER_SIZES,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> ExperimentResult:
+    """Regenerate the series of Figure 3 (a and b)."""
+    result = ExperimentResult(
+        experiment="fig3",
+        description="restart completion time vs number of hosts (s)",
+    )
+    for buffer_bytes in buffer_sizes:
+        for instances in scale_points:
+            row = {"buffer_MB": buffer_bytes // 10**6, "hosts": instances}
+            for approach in approaches:
+                outcome = run_synthetic_scenario(
+                    approach, instances, buffer_bytes, spec=spec, include_restart=True
+                )
+                row[approach] = outcome.restart_time
+            result.rows.append(row)
+    return result

@@ -1,0 +1,55 @@
+"""Figure 5: four successive checkpoints of one VM instance (200 MB buffer).
+
+Before every checkpoint the benchmark refills its buffer with fresh random
+data.  Figure 5a reports the completion time of each checkpoint; Figure 5b
+the total persistent storage after each checkpoint.
+
+Expected shapes: BlobCR stays flat in time (only incremental differences are
+shipped) and grows linearly in storage; ``qcow2-disk`` grows linearly in time
+(the copied file keeps growing) and super-linearly in storage (each copy
+duplicates all earlier data); ``qcow2-full`` grows linearly in both (a single
+ever-growing file is kept).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import (
+    APPROACHES,
+    ExperimentResult,
+    run_synthetic_scenario,
+)
+from repro.util.config import ClusterSpec
+from repro.util.units import MB
+
+
+def run_fig5(
+    checkpoints: int = 4,
+    buffer_bytes: int = 200 * MB,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> ExperimentResult:
+    """Regenerate the series of Figure 5 (a: time, b: storage)."""
+    result = ExperimentResult(
+        experiment="fig5",
+        description="successive checkpoints of one VM: completion time (s) and storage (MB)",
+    )
+    series = {}
+    for approach in approaches:
+        outcome = run_synthetic_scenario(
+            approach, instances=1, buffer_bytes=buffer_bytes, spec=spec,
+            include_restart=False, checkpoints=checkpoints,
+        )
+        series[approach] = (
+            outcome.checkpoint_times,  # type: ignore[attr-defined]
+            outcome.storage_trajectory,  # type: ignore[attr-defined]
+        )
+    for index in range(checkpoints):
+        row = {"checkpoint": index + 1}
+        for approach in approaches:
+            times, storage = series[approach]
+            row[f"{approach} time_s"] = times[index]
+            row[f"{approach} storage_MB"] = round(storage[index] / 10**6, 1)
+        result.rows.append(row)
+    return result

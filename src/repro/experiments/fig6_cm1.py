@@ -1,0 +1,82 @@
+"""Figure 6: CM1 checkpoint performance for an increasing number of processes.
+
+Weak scaling of the CM1 hurricane simulation: each MPI process solves a fixed
+50x50 subdomain, four processes run per quad-core VM instance, and a global
+checkpoint is taken after a period of execution.  The paper omits
+``qcow2-full`` (its snapshots grow unacceptably large).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.apps.cm1 import CM1Application, CM1Config
+from repro.experiments.harness import CM1_APPROACHES, ExperimentResult, make_deployment, split_approach
+from repro.util.config import GRAPHENE, ClusterSpec
+
+#: process counts of the paper's Figure 6 (4 processes per VM)
+PAPER_CM1_PROCESSES = (64, 160, 256, 400)
+#: reduced axis for the default benchmark run
+BENCH_CM1_PROCESSES = (16, 48)
+
+
+def run_cm1_scenario(
+    approach: str,
+    processes: int,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[CM1Config] = None,
+    warmup_iterations: int = 10,
+) -> Tuple[float, Dict[str, int]]:
+    """Run one CM1 deploy/warmup/checkpoint cycle.
+
+    Returns the global checkpoint completion time and the per-instance
+    snapshot sizes (used by Table 1).
+    """
+    config = config or CM1Config()
+    processes_per_instance = 4
+    instances = max(1, processes // processes_per_instance)
+    spec = spec or GRAPHENE
+    if instances > spec.compute_nodes:
+        spec = spec.scaled(compute_nodes=instances)
+    deployment = make_deployment(approach, spec)
+    cloud = deployment.cloud
+    _backend, level = split_approach(approach)
+    app = CM1Application(deployment, config, processes_per_instance=processes_per_instance)
+    out: Dict[str, object] = {}
+
+    def scenario():
+        yield from deployment.deploy(instances, processes_per_instance=processes_per_instance)
+        app.init_domain()
+        yield from app.run_iterations(warmup_iterations)
+        if level == "app":
+            checkpoint, duration = yield from app.checkpoint_app_level()
+        else:
+            checkpoint, duration = yield from app.checkpoint_process_level()
+        out["duration"] = duration
+        out["sizes"] = {
+            rec.instance_id: rec.snapshot_bytes for rec in checkpoint.records.values()
+        }
+        return out
+
+    cloud.run(cloud.process(scenario(), name=f"cm1:{approach}"))
+    return float(out["duration"]), dict(out["sizes"])  # type: ignore[arg-type]
+
+
+def run_fig6(
+    process_counts: Sequence[int] = BENCH_CM1_PROCESSES,
+    approaches: Sequence[str] = CM1_APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[CM1Config] = None,
+) -> ExperimentResult:
+    """Regenerate the series of Figure 6 (checkpoint time vs process count)."""
+    result = ExperimentResult(
+        experiment="fig6",
+        description="CM1 global checkpoint completion time vs number of processes (s)",
+    )
+    for processes in process_counts:
+        row = {"processes": processes}
+        for approach in approaches:
+            duration, _sizes = run_cm1_scenario(approach, processes, spec=spec, config=config)
+            row[approach] = duration
+        result.rows.append(row)
+    return result

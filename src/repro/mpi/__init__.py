@@ -1,0 +1,17 @@
+"""A small message-passing runtime for the guest applications.
+
+The applications the paper evaluates are MPI programs.  This package
+provides the subset of MPI semantics they need -- ranks, blocking
+send/receive, barriers, allreduce and neighbour (halo) exchange -- running as
+simulation processes so that communication pays realistic network time, plus
+the hooks the coordinated checkpoint protocol uses to quiesce communication.
+
+It is intentionally not a drop-in mpi4py replacement: communicators map ranks
+to VM instances of a :class:`~repro.core.strategy.Deployment`, and message
+timing flows through the same :class:`~repro.cluster.network.Network` model
+as the storage traffic.
+"""
+
+from repro.mpi.runtime import MPICommunicator, MPIRank
+
+__all__ = ["MPICommunicator", "MPIRank"]

@@ -1,0 +1,259 @@
+"""Max-min fair bandwidth sharing for the DES kernel.
+
+Checkpoint and restart completion times in the paper are dominated by bulk
+data transfers that *share* node NICs, the switch fabric and local disks with
+other concurrent transfers.  A fixed ``bytes / bandwidth`` delay would miss
+exactly the contention effects that separate BlobCR from the PVFS baselines,
+so transfers are modelled as *fluid flows*:
+
+* a :class:`FairShareChannel` is a capacity in bytes/s (a NIC, a disk, a
+  switch backplane, a storage service ingest limit);
+* a flow crosses one or more channels and receives the **max-min fair**
+  allocation computed by progressive filling (water-filling) across all
+  currently active flows;
+* whenever a flow starts or finishes, all flows are settled (their remaining
+  byte counts advanced at the old rates) and the allocation is recomputed.
+
+The model is deterministic and exact for piecewise-constant rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.core import Environment, Event
+from repro.util.errors import SimulationError
+
+_EPSILON_BYTES = 1e-6
+_EPSILON_TIME = 1e-12
+
+
+class FairShareChannel:
+    """A shared capacity (bytes/s) that concurrent flows divide fairly."""
+
+    __slots__ = ("system", "capacity", "name", "flows", "bytes_carried")
+
+    def __init__(self, system: "BandwidthSystem", capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"channel capacity must be positive, got {capacity}")
+        self.system = system
+        self.capacity = float(capacity)
+        self.name = name or "channel"
+        self.flows: set[Flow] = set()
+        #: total bytes ever carried, for utilisation accounting
+        self.bytes_carried: float = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self.flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<FairShareChannel {self.name} {self.capacity:.3g} B/s {len(self.flows)} flows>"
+
+
+class Flow:
+    """A bulk transfer in flight."""
+
+    __slots__ = ("size", "remaining", "channels", "done", "rate", "started_at", "label")
+
+    def __init__(self, size: float, channels: Sequence[FairShareChannel], done: Event, label: str):
+        self.size = float(size)
+        self.remaining = float(size)
+        self.channels = tuple(channels)
+        self.done = done
+        self.rate = 0.0
+        self.started_at = done.env.now
+        self.label = label
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining <= _EPSILON_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Flow {self.label} {self.remaining:.0f}/{self.size:.0f}B @ {self.rate:.3g}B/s>"
+
+
+class BandwidthSystem:
+    """Owner of all channels and flows of one simulation environment."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._flows: set[Flow] = set()
+        self._last_settle = env.now
+        self._timer_generation = 0
+        self.completed_flows = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def channel(self, capacity: float, name: str = "") -> FairShareChannel:
+        return FairShareChannel(self, capacity, name)
+
+    def transfer(
+        self,
+        nbytes: float,
+        channels: Iterable[FairShareChannel],
+        latency: float = 0.0,
+        label: str = "transfer",
+    ) -> Event:
+        """Start a flow of ``nbytes`` across ``channels``.
+
+        Returns an event that fires (with the flow as value) once the last
+        byte has been delivered, ``latency`` seconds after transmission ends.
+        ``latency`` models propagation / fixed software overhead and is not
+        subject to sharing.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"cannot transfer a negative byte count: {nbytes}")
+        channel_list = [c for c in channels if c is not None]
+        for chan in channel_list:
+            if chan.system is not self:
+                raise SimulationError("flow crosses a channel from another BandwidthSystem")
+        done = self.env.event(f"flow:{label}")
+        completion = done
+        if latency > 0:
+            transit = self.env.event(f"flow-transit:{label}")
+            completion = transit
+
+            def _after_latency(event: Event, _done=done, _lat=latency) -> None:
+                if event.ok:
+                    Delayed(self.env, _lat, _done, event.value)
+                else:  # pragma: no cover - defensive
+                    _done.fail(event.value)
+
+            transit.callbacks.append(_after_latency)
+
+        flow = Flow(nbytes, channel_list, completion, label)
+        if nbytes <= _EPSILON_BYTES or not channel_list:
+            completion.succeed(flow)
+            return done
+        self._settle()
+        self._flows.add(flow)
+        for chan in channel_list:
+            chan.flows.add(flow)
+        self._replan()
+        return done
+
+    def fail_channel(self, channel: FairShareChannel, exception: BaseException) -> int:
+        """Abort every flow crossing ``channel`` with ``exception``.
+
+        Used by fail-stop failure injection: when a node dies its NIC and
+        disk channels fail, which aborts all in-flight transfers touching it.
+        Returns the number of aborted flows.
+        """
+        victims = [f for f in self._flows if channel in f.channels]
+        if not victims:
+            return 0
+        self._settle()
+        for flow in victims:
+            self._detach(flow)
+            if not flow.done.triggered:
+                flow.done.fail(exception)
+        self._replan()
+        return len(victims)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _detach(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for chan in flow.channels:
+            chan.flows.discard(flow)
+
+    def _settle(self) -> None:
+        """Advance every active flow to the current time at its last rate."""
+        now = self.env.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
+        if elapsed <= _EPSILON_TIME:
+            return
+        for flow in self._flows:
+            moved = flow.rate * elapsed
+            flow.remaining = max(0.0, flow.remaining - moved)
+            for chan in flow.channels:
+                chan.bytes_carried += moved
+
+    def _allocate(self) -> None:
+        """Compute max-min fair rates by progressive filling."""
+        unfrozen = {f for f in self._flows}
+        cap_left: dict[FairShareChannel, float] = {}
+        users: dict[FairShareChannel, int] = {}
+        for flow in self._flows:
+            for chan in flow.channels:
+                cap_left.setdefault(chan, chan.capacity)
+                users[chan] = users.get(chan, 0) + 1
+        while unfrozen:
+            # Find the most constrained channel among those still serving
+            # unfrozen flows.
+            bottleneck = None
+            share = math.inf
+            for chan, count in users.items():
+                if count <= 0:
+                    continue
+                chan_share = cap_left[chan] / count
+                if chan_share < share:
+                    share = chan_share
+                    bottleneck = chan
+            if bottleneck is None:
+                # Remaining flows cross no constrained channel; they are
+                # effectively unlimited (should not happen: zero-channel flows
+                # complete immediately in transfer()).
+                for flow in unfrozen:
+                    flow.rate = math.inf
+                break
+            frozen_now = [f for f in unfrozen if bottleneck in f.channels]
+            for flow in frozen_now:
+                flow.rate = share
+                unfrozen.discard(flow)
+                for chan in flow.channels:
+                    cap_left[chan] = max(0.0, cap_left[chan] - share)
+                    users[chan] -= 1
+
+    def _replan(self) -> None:
+        """Recompute rates and schedule the next completion check."""
+        finished = [f for f in self._flows if f.finished]
+        for flow in finished:
+            self._detach(flow)
+            self.completed_flows += 1
+            if not flow.done.triggered:
+                flow.done.succeed(flow)
+        if not self._flows:
+            return
+        self._allocate()
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.rate <= 0:
+                continue
+            horizon = min(horizon, flow.remaining / flow.rate)
+        if not math.isfinite(horizon):
+            raise SimulationError("active flows but no finite completion horizon")
+        self._timer_generation += 1
+        generation = self._timer_generation
+        timer = self.env.timeout(max(horizon, 0.0))
+        timer.callbacks.append(lambda _e, g=generation: self._on_timer(g))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # superseded by a newer plan
+        self._settle()
+        self._replan()
+
+
+class Delayed(Event):
+    """An event that succeeds with a fixed value after ``delay`` seconds,
+    forwarding the result into ``target``."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, delay: float, target: Event, value) -> None:
+        super().__init__(env, "delayed")
+        timer = env.timeout(delay, value)
+
+        def _fire(event: Event) -> None:
+            if not target.triggered:
+                target.succeed(event.value)
+
+        timer.callbacks.append(_fire)

@@ -1,0 +1,404 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the classic generator-based DES pattern:
+
+* an :class:`Environment` owns the simulated clock and a priority queue of
+  scheduled events;
+* an :class:`Event` is a one-shot waitable with a value or an exception;
+* a :class:`Process` wraps a generator; every value the generator ``yield``\\ s
+  must be an :class:`Event`, and the process resumes when that event fires
+  (receiving the event's value, or having its exception re-raised inside the
+  generator);
+* ``env.run()`` pops events in ``(time, priority, sequence)`` order and calls
+  their callbacks until the queue drains or an optional horizon is reached.
+
+The implementation is single-threaded and deterministic: two runs of the
+same model with the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.util.errors import SimulationError
+
+# Event priorities: URGENT is used for process resumption bookkeeping so that
+# a process interrupt scheduled "now" beats ordinary events at the same time.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self.name = name
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (it may not have fired yet)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._ok is not None:
+            raise SimulationError(f"event {self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed and schedule its callbacks."""
+        if self._ok is not None:
+            raise SimulationError(f"event {self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another event (used by combinators)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        label = self.name or type(self).__name__
+        state = "pending"
+        if self._ok is True:
+            state = "ok"
+        elif self._ok is False:
+            state = "failed"
+        return f"<{label} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env, name or f"timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env, "init")
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running simulation activity driven by a generator.
+
+    The process itself is an :class:`Event` that fires when the generator
+    finishes; its value is the generator's return value.  Other processes can
+    therefore ``yield`` a process to wait for it.
+    """
+
+    __slots__ = ("_generator", "_target", "_interrupts")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, which conveniently lets
+        failure injectors shoot at activities that may already have ended.
+        """
+        if not self.is_alive:
+            return
+        interrupt = Interrupt(cause)
+        self._interrupts.append(interrupt)
+        # Detach from the event currently waited upon (it may still fire, but
+        # the resumption must not be delivered twice).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._target = None
+        wakeup = Event(self.env, "interrupt")
+        wakeup.callbacks.append(self._resume)
+        wakeup._ok = True
+        wakeup._value = None
+        self.env._schedule(wakeup, URGENT, 0.0)
+
+    # -- generator driving ------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if self._interrupts:
+                        interrupt = self._interrupts.pop(0)
+                        next_event = self._generator.throw(interrupt)
+                    elif event is None or event._ok:
+                        value = None if event is None else event._value
+                        next_event = self._generator.send(value)
+                    else:
+                        # Re-raise the failure inside the generator so the
+                        # model can handle it (or die with it).
+                        next_event = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self.env._active_process = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self.env._active_process = None
+                    self.fail(exc)
+                    return
+
+                if not isinstance(next_event, Event):
+                    self.env._active_process = None
+                    error = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {next_event!r}"
+                    )
+                    self.fail(error)
+                    return
+
+                if next_event.processed:
+                    # The event has already fired; loop and deliver it
+                    # immediately instead of scheduling a callback.
+                    event = next_event
+                    continue
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+        finally:
+            self.env._active_process = None
+
+
+class Condition(Event):
+    """Base class for the :class:`AllOf` / :class:`AnyOf` combinators."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], name: str):
+        super().__init__(env, name)
+        self._events = list(events)
+        self._pending = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._observe(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._observe)
+        self._check_initial()
+
+    def _check_initial(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.triggered and e._ok}
+
+
+class AllOf(Condition):
+    """Fires when every constituent event has fired successfully.
+
+    Its value is a dict mapping each event to its value.  If any constituent
+    fails, the condition fails with that exception.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, "all_of")
+
+    def _check_initial(self) -> None:
+        if not self.triggered and self._pending == 0:
+            self.succeed(self._collect())
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending <= 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as any constituent event fires (success or failure)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, "any_of")
+
+    def _check_initial(self) -> None:
+        if not self.triggered:
+            for event in self._events:
+                if event.processed:
+                    self.trigger(event)
+                    return
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self.trigger(event)
+
+
+class Environment:
+    """Simulated clock plus event loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if event._scheduled and delay == 0.0 and priority == NORMAL and event.callbacks is None:
+            raise SimulationError(f"event {event!r} scheduled twice")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        event._scheduled = True
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until no events remain,
+        * a number -- run until the clock reaches that time,
+        * an :class:`Event` -- run until that event has been processed and
+          return its value (re-raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"simulation ran out of events before {target!r} fired"
+                    )
+                self.step()
+            if target.ok:
+                return target.value
+            raise target.value
+        horizon = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, horizon) if horizon != float("inf") else self._now
+        return None

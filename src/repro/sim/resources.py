@@ -1,0 +1,119 @@
+"""Capacity-limited resources and item stores for the DES kernel."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Environment, Event
+from repro.util.errors import SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env, "resource-request")
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots.
+
+    Usage inside a simulation process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._users: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self.env, self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(self)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._waiting:
+            # Releasing a request that never got a slot cancels it.
+            self._waiting.remove(request)
+            return
+        else:
+            raise SimulationError(f"release of unknown request on {self.name}")
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed(self)
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    Used as a message mailbox by the simulated MPI runtime and by the
+    checkpointing proxy's request queue.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking one waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.env, f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns ``None`` when the store is empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

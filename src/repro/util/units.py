@@ -1,0 +1,63 @@
+"""Byte and time unit helpers.
+
+The paper mixes decimal units (network bandwidth quoted as 117.5 MB/s) and
+binary units (stripe size 256 KB meaning KiB).  To keep the calibration
+readable we expose both families and always annotate call sites.
+"""
+
+from __future__ import annotations
+
+# Binary units -----------------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# Decimal units ----------------------------------------------------------
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+_BINARY_STEPS = (
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+)
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count with a binary suffix.
+
+    >>> format_bytes(256 * 1024)
+    '256.0 KiB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for step, suffix in _BINARY_STEPS:
+        if n >= step:
+            return f"{n / step:.1f} {suffix}"
+    return f"{int(n)} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_duration(0.0021)
+    '2.1 ms'
+    >>> format_duration(75)
+    '1m 15.0s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m {rem:.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h {minutes}m {rem:.0f}s"

@@ -1,0 +1,30 @@
+"""Virtual disk images and block devices.
+
+This package provides the disk-image substrate that both BlobCR and the
+qcow2-over-PVFS baselines operate on:
+
+* :class:`~repro.vdisk.blockdev.BlockDevice` -- the abstract guest-visible
+  block device interface (byte-addressable ``read`` / ``write``),
+* :class:`~repro.vdisk.blockdev.SparseDevice` -- an in-memory sparse device
+  used for raw images and as scratch space,
+* :class:`~repro.vdisk.raw.RawImage` -- a raw disk image file,
+* :class:`~repro.vdisk.qcow2.QcowImage` -- a qcow2-like copy-on-write format
+  with backing files, cluster allocation, *internal* snapshots (``savevm``)
+  and accurate file-size accounting,
+* :class:`~repro.vdisk.dirty.DirtyTracker` -- block-granular modification
+  tracking used by the mirroring module to build incremental snapshots.
+"""
+
+from repro.vdisk.blockdev import BlockDevice, SparseDevice
+from repro.vdisk.raw import RawImage
+from repro.vdisk.qcow2 import InternalSnapshot, QcowImage
+from repro.vdisk.dirty import DirtyTracker
+
+__all__ = [
+    "BlockDevice",
+    "SparseDevice",
+    "RawImage",
+    "QcowImage",
+    "InternalSnapshot",
+    "DirtyTracker",
+]

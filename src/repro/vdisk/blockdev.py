@@ -1,0 +1,197 @@
+"""Guest-visible block devices.
+
+A :class:`BlockDevice` is what the guest file system and the hypervisor see:
+a byte-addressable array of ``size`` bytes supporting reads and writes of
+arbitrary windows.  The concrete implementations store data sparsely at a
+fixed internal block granularity so that a 2 GB image with a few hundred MB
+of content costs only what was actually written.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.util.bytesource import ByteSource, LiteralBytes, ZeroBytes, concat
+from repro.util.errors import StorageError
+
+
+class BlockDevice(ABC):
+    """Abstract byte-addressable device."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Device capacity in bytes."""
+
+    @abstractmethod
+    def read(self, offset: int, length: int) -> ByteSource:
+        """Read ``length`` bytes starting at ``offset``."""
+
+    @abstractmethod
+    def write(self, offset: int, data: ByteSource) -> None:
+        """Write ``data`` starting at ``offset``."""
+
+    # -- helpers shared by implementations ---------------------------------------
+
+    def _check_window(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise StorageError(
+                f"I/O window [{offset}, {offset + length}) outside device of size {self.size}"
+            )
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        """Convenience wrapper materialising a small read."""
+        return self.read(offset, length).to_bytes()
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        self.write(offset, LiteralBytes(data))
+
+
+class _BlockMap:
+    """Sparse fixed-granularity block storage shared by device implementations."""
+
+    __slots__ = ("block_size", "blocks")
+
+    def __init__(self, block_size: int):
+        if block_size <= 0:
+            raise StorageError(f"block size must be positive: {block_size}")
+        self.block_size = block_size
+        self.blocks: Dict[int, ByteSource] = {}
+
+    def window_blocks(self, offset: int, length: int) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(block_index, start_in_block, length_in_block)`` for a window."""
+        if length <= 0:
+            return
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        for index in range(first, last + 1):
+            block_start = index * self.block_size
+            lo = max(offset, block_start)
+            hi = min(offset + length, block_start + self.block_size)
+            yield index, lo - block_start, hi - lo
+
+    def read(self, offset: int, length: int, background) -> ByteSource:
+        """Read a window, falling back to ``background(offset, length)`` for holes."""
+        pieces: List[ByteSource] = []
+        for index, start, span in self.window_blocks(offset, length):
+            block = self.blocks.get(index)
+            if block is None:
+                pieces.append(background(index * self.block_size + start, span))
+            else:
+                pieces.append(self._window_of_block(block, start, span, index, background))
+        return concat(pieces) if pieces else LiteralBytes(b"")
+
+    def _window_of_block(
+        self, block: ByteSource, start: int, span: int, index: int, background
+    ) -> ByteSource:
+        if start + span <= block.size:
+            return block.slice(start, span)
+        pieces: List[ByteSource] = []
+        if start < block.size:
+            pieces.append(block.slice(start, block.size - start))
+        missing = span - max(0, block.size - start)
+        pieces.append(background(index * self.block_size + max(start, block.size), missing))
+        return concat(pieces)
+
+    def write(self, offset: int, data: ByteSource, background) -> List[int]:
+        """Write a window, returning the list of touched block indices.
+
+        Partially covered blocks are read-modify-written against the current
+        block content (or ``background`` where nothing was written yet).
+        """
+        touched: List[int] = []
+        cursor = 0
+        for index, start, span in self.window_blocks(offset, data.size):
+            payload = data.slice(cursor, span)
+            cursor += span
+            existing = self.blocks.get(index)
+            if start == 0 and span == self.block_size:
+                self.blocks[index] = payload
+            else:
+                base: ByteSource
+                if existing is not None:
+                    base = existing
+                    if base.size < self.block_size:
+                        base = concat([base, ZeroBytes(self.block_size - base.size)])
+                else:
+                    base = background(index * self.block_size, self.block_size)
+                pieces = []
+                if start > 0:
+                    pieces.append(base.slice(0, start))
+                pieces.append(payload)
+                tail = start + span
+                if tail < self.block_size:
+                    pieces.append(base.slice(tail, self.block_size - tail))
+                self.blocks[index] = concat(pieces)
+            touched.append(index)
+        return touched
+
+    def allocated_bytes(self) -> int:
+        return sum(b.size for b in self.blocks.values())
+
+
+class SparseDevice(BlockDevice):
+    """An in-memory sparse block device initialised to zeros.
+
+    Optionally layered on top of a read-only ``base`` device: reads of
+    unwritten regions fall through to the base (this is how the mirroring
+    module exposes a remotely stored image with local copy-on-write).
+    """
+
+    def __init__(self, size: int, block_size: int = 256 * 1024,
+                 base: Optional[BlockDevice] = None, name: str = ""):
+        if size <= 0:
+            raise StorageError(f"device size must be positive: {size}")
+        if base is not None and base.size > size:
+            raise StorageError("base device larger than the overlay device")
+        self._size = size
+        self._map = _BlockMap(block_size)
+        self._base = base
+        self.name = name or "sparse-device"
+        #: indices of blocks written since creation (never reset); the
+        #: DirtyTracker offers finer-grained epochs on top of this.
+        self.written_blocks: set[int] = set()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def block_size(self) -> int:
+        return self._map.block_size
+
+    def _background(self, offset: int, length: int) -> ByteSource:
+        if self._base is not None and offset < self._base.size:
+            span = min(length, self._base.size - offset)
+            piece = self._base.read(offset, span)
+            if span < length:
+                piece = concat([piece, ZeroBytes(length - span)])
+            return piece
+        return ZeroBytes(length)
+
+    def read(self, offset: int, length: int) -> ByteSource:
+        self._check_window(offset, length)
+        if length == 0:
+            return LiteralBytes(b"")
+        return self._map.read(offset, length, self._background)
+
+    def write(self, offset: int, data: ByteSource) -> None:
+        self._check_window(offset, data.size)
+        if data.size == 0:
+            return
+        touched = self._map.write(offset, data, self._background)
+        self.written_blocks.update(touched)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes of locally materialised (written) block content."""
+        return self._map.allocated_bytes()
+
+    def local_block_indices(self) -> List[int]:
+        return sorted(self._map.blocks.keys())
+
+    def block_payload(self, index: int) -> Optional[ByteSource]:
+        return self._map.blocks.get(index)

@@ -1,0 +1,193 @@
+"""Tests for the baselines, applications, MPI runtime and experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cm1 import CM1Application, CM1Config
+from repro.apps.synthetic import SyntheticBenchmark
+from repro.baselines import Qcow2DiskDeployment, Qcow2FullDeployment
+from repro.cluster import Cloud
+from repro.core import BlobCRDeployment
+from repro.experiments import run_fig4, run_table1
+from repro.experiments.harness import (
+    APPROACHES,
+    make_deployment,
+    run_synthetic_scenario,
+    split_approach,
+)
+from repro.mpi import MPICommunicator, MPIRank
+from repro.util.config import GRAPHENE
+from repro.util.errors import ConfigurationError, MPIError
+from repro.util.units import MB
+
+SMALL = GRAPHENE.scaled(compute_nodes=6, service_nodes=3)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("cls", [Qcow2DiskDeployment, Qcow2FullDeployment])
+    def test_deploy_and_checkpoint(self, cls):
+        cloud = Cloud(SMALL)
+        deployment = cls(cloud)
+        out = {}
+
+        def scenario():
+            yield from deployment.deploy(2, processes_per_instance=1)
+            ckpt = yield from deployment.checkpoint_all()
+            out["ckpt"] = ckpt
+
+        cloud.run(cloud.process(scenario()))
+        assert len(out["ckpt"].records) == 2
+        assert deployment.storage_used_bytes() > 0
+
+    def test_qcow2_disk_snapshot_grows_with_checkpoints(self):
+        cloud = Cloud(SMALL)
+        deployment = Qcow2DiskDeployment(cloud)
+        bench = SyntheticBenchmark(deployment, 4 * MB)
+        sizes = []
+
+        def scenario():
+            yield from deployment.deploy(1)
+            for _ in range(3):
+                bench.fill_buffers()
+                ckpt = yield from bench.checkpoint_app_level()
+                sizes.append(ckpt.max_snapshot_bytes)
+
+        cloud.run(cloud.process(scenario()))
+        assert sizes[2] > sizes[0]
+
+    def test_qcow2_full_restart_skips_reboot(self):
+        cloud = Cloud(SMALL)
+        deployment = Qcow2FullDeployment(cloud)
+        out = {}
+
+        def scenario():
+            yield from deployment.deploy(1)
+            ckpt = yield from deployment.checkpoint_all()
+            boots_before = deployment.instances[0].vm.boot_count
+            t0 = cloud.now
+            yield from deployment.restart_all(ckpt)
+            out["restart"] = cloud.now - t0
+            out["boots_delta"] = deployment.instances[0].vm.boot_count - boots_before
+
+        cloud.run(cloud.process(scenario()))
+        # resume-from-snapshot must not pay the 20 s guest boot time
+        assert out["restart"] < cloud.spec.vm.boot_time
+
+
+class TestMPIRuntime:
+    def _comm(self, ranks=4):
+        cloud = Cloud(SMALL)
+        placements = [
+            MPIRank(rank=r, instance_id=f"vm-{r // 2}", node_name=f"node-00{r // 2}")
+            for r in range(ranks)
+        ]
+        return cloud, MPICommunicator(cloud, placements)
+
+    def test_send_recv(self):
+        cloud, comm = self._comm()
+        out = {}
+
+        def sender():
+            yield from comm.send(0, 3, 1_000_000, payload="hello")
+
+        def receiver():
+            message = yield from comm.recv(3)
+            out["msg"] = message
+
+        cloud.process(sender())
+        cloud.process(receiver())
+        cloud.run()
+        assert out["msg"][0] == 0 and out["msg"][3] == "hello"
+        assert comm.bytes_sent == 1_000_000
+
+    def test_quiesce_blocks_sends(self):
+        cloud, comm = self._comm()
+
+        def scenario():
+            yield from comm.quiesce()
+
+        cloud.run(cloud.process(scenario()))
+        assert comm.is_quiesced
+        with pytest.raises(MPIError):
+            cloud.run(cloud.process(comm.send(0, 1, 10)))
+        comm.resume_comm()
+        cloud.run(cloud.process(comm.send(0, 1, 10)))
+
+    def test_bad_rank_layout_rejected(self):
+        cloud = Cloud(SMALL)
+        with pytest.raises(MPIError):
+            MPICommunicator(cloud, [MPIRank(rank=1, instance_id="a", node_name="node-000")])
+
+    def test_collectives_advance_time(self):
+        cloud, comm = self._comm()
+
+        def scenario():
+            yield from comm.barrier()
+            yield from comm.allreduce(8)
+            yield from comm.halo_exchange(1000)
+            return cloud.now
+
+        assert cloud.run(cloud.process(scenario())) > 0
+
+
+class TestCM1:
+    def test_stencil_conserves_shape_and_changes_values(self):
+        cloud = Cloud(SMALL)
+        deployment = BlobCRDeployment(cloud)
+        config = CM1Config(nx=12, ny=12, nz=6, fields=3)
+        app = CM1Application(deployment, config, processes_per_instance=2)
+
+        def scenario():
+            yield from deployment.deploy(2, processes_per_instance=2)
+            app.init_domain(materialise_state=True)
+            before = {r: s.copy() for r, s in app._state.items()}
+            yield from app.run_iterations(3, materialised=True)
+            return before
+
+        before = cloud.run(cloud.process(scenario()))
+        for rank, state in app._state.items():
+            assert state.shape == (3, 6, 12, 12)
+            assert not np.allclose(state, before[rank])
+            assert np.isfinite(state).all()
+
+    def test_weak_scaling_sizes(self):
+        config = CM1Config()
+        assert config.state_bytes_per_process == 50 * 50 * 60 * 8 * 8
+        assert config.memory_bytes_per_process > config.state_bytes_per_process
+
+
+class TestExperimentHarness:
+    def test_split_approach(self):
+        assert split_approach("BlobCR-app") == ("BlobCR", "app")
+        assert split_approach("qcow2-disk-blcr") == ("qcow2-disk", "blcr")
+        assert split_approach("qcow2-full") == ("qcow2-full", "full")
+        with pytest.raises(ConfigurationError):
+            split_approach("nonsense-app")
+
+    def test_make_deployment_types(self):
+        assert isinstance(make_deployment("BlobCR-app", SMALL), BlobCRDeployment)
+        assert isinstance(make_deployment("qcow2-disk-app", SMALL), Qcow2DiskDeployment)
+        assert isinstance(make_deployment("qcow2-full", SMALL), Qcow2FullDeployment)
+
+    @pytest.mark.parametrize("approach", APPROACHES)
+    def test_scenario_runs_for_every_approach(self, approach):
+        outcome = run_synthetic_scenario(approach, instances=2, buffer_bytes=2 * MB,
+                                         spec=SMALL, include_restart=True)
+        assert outcome.checkpoint_time > 0
+        assert outcome.restart_time > 0
+        assert outcome.snapshot_bytes_per_instance > 0
+        assert outcome.restored_ok
+
+    def test_fig4_rows_have_all_approaches(self):
+        result = run_fig4(buffer_sizes=(2 * MB,), instances=2, spec=SMALL)
+        assert len(result.rows) == 1
+        for approach in APPROACHES:
+            assert approach in result.rows[0]
+        assert "buffer_MB" in result.columns()
+        assert "fig4" in result.to_table()
+
+    def test_table1_shape(self):
+        result = run_table1(processes=8, spec=SMALL,
+                            config=CM1Config(nx=10, ny=10, nz=6, fields=3))
+        sizes = {row["approach"]: row["snapshot_MB"] for row in result.rows}
+        assert sizes["BlobCR-blcr"] >= sizes["BlobCR-app"]

@@ -1,0 +1,363 @@
+"""Unit and property tests for the BlobSeer functional core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blobseer import (
+    BlobClient,
+    Chunk,
+    ChunkKey,
+    DataProvider,
+    MetadataStore,
+    ProviderManager,
+    VersionManager,
+)
+from repro.blobseer.metadata import ChunkDescriptor
+from repro.util import LiteralBytes, SyntheticBytes, ZeroBytes
+from repro.util.errors import (
+    ChunkNotFoundError,
+    StorageError,
+    VersionNotFoundError,
+)
+
+
+def make_client(num_providers=4, replication=1, chunk_size=1024):
+    manager = ProviderManager(replication=replication)
+    for i in range(num_providers):
+        manager.register(DataProvider(f"p{i}"))
+    return BlobClient(providers=manager, default_chunk_size=chunk_size)
+
+
+class TestDataProvider:
+    def test_store_and_fetch(self):
+        provider = DataProvider("p0")
+        chunk = Chunk(ChunkKey(1, 1), LiteralBytes(b"data"))
+        provider.store(chunk)
+        assert provider.fetch(ChunkKey(1, 1)).data.read() == b"data"
+        assert provider.used_bytes == 4
+
+    def test_store_is_idempotent(self):
+        provider = DataProvider("p0")
+        chunk = Chunk(ChunkKey(1, 1), LiteralBytes(b"data"))
+        provider.store(chunk)
+        provider.store(chunk)
+        assert provider.used_bytes == 4
+        assert provider.chunk_count == 1
+
+    def test_fetch_missing_raises(self):
+        with pytest.raises(ChunkNotFoundError):
+            DataProvider("p0").fetch(ChunkKey(1, 99))
+
+    def test_capacity_enforced(self):
+        provider = DataProvider("p0", capacity=10)
+        provider.store(Chunk(ChunkKey(1, 1), LiteralBytes(b"12345678")))
+        with pytest.raises(StorageError):
+            provider.store(Chunk(ChunkKey(1, 2), LiteralBytes(b"too big")))
+
+    def test_delete_frees_space(self):
+        provider = DataProvider("p0")
+        provider.store(Chunk(ChunkKey(1, 1), LiteralBytes(b"abcd")))
+        assert provider.delete(ChunkKey(1, 1)) is True
+        assert provider.used_bytes == 0
+        assert provider.delete(ChunkKey(1, 1)) is False
+
+    def test_fail_loses_data(self):
+        provider = DataProvider("p0")
+        provider.store(Chunk(ChunkKey(1, 1), LiteralBytes(b"abcd")))
+        provider.fail()
+        assert not provider.alive
+        with pytest.raises(ChunkNotFoundError):
+            provider.fetch(ChunkKey(1, 1))
+
+
+class TestProviderManager:
+    def test_replication_places_on_distinct_providers(self):
+        manager = ProviderManager(replication=3)
+        for i in range(5):
+            manager.register(DataProvider(f"p{i}"))
+        decision = manager.place(ChunkKey(1, 1), 100)
+        assert len(decision.providers) == 3
+        assert len(set(decision.providers)) == 3
+
+    def test_placement_balances_load(self):
+        manager = ProviderManager(replication=1)
+        for i in range(4):
+            manager.register(DataProvider(f"p{i}"))
+        for c in range(40):
+            chunk = Chunk(ChunkKey(1, c), LiteralBytes(b"x" * 100))
+            manager.store_replicated(chunk)
+        counts = [p.chunk_count for p in manager.providers]
+        assert max(counts) - min(counts) <= 1
+
+    def test_fetch_any_falls_back_to_replica(self):
+        manager = ProviderManager(replication=2)
+        for i in range(3):
+            manager.register(DataProvider(f"p{i}"))
+        chunk = Chunk(ChunkKey(1, 1), LiteralBytes(b"payload"))
+        decision = manager.store_replicated(chunk)
+        manager.get(decision.providers[0]).fail()
+        fetched = manager.fetch_any(ChunkKey(1, 1), preferred=decision.providers)
+        assert fetched.data.read() == b"payload"
+
+    def test_fetch_any_missing_raises(self):
+        manager = ProviderManager()
+        manager.register(DataProvider("p0"))
+        with pytest.raises(ChunkNotFoundError):
+            manager.fetch_any(ChunkKey(1, 1))
+
+    def test_no_live_provider_raises(self):
+        manager = ProviderManager()
+        provider = DataProvider("p0")
+        manager.register(provider)
+        provider.fail()
+        with pytest.raises(StorageError):
+            manager.place(ChunkKey(1, 1), 10)
+
+    def test_duplicate_registration_rejected(self):
+        manager = ProviderManager()
+        manager.register(DataProvider("p0"))
+        with pytest.raises(StorageError):
+            manager.register(DataProvider("p0"))
+
+
+class TestMetadataStore:
+    def _descriptor(self, stripe, blob=1, version=1, length=4):
+        return ChunkDescriptor(
+            stripe_index=stripe,
+            length=length,
+            key=ChunkKey(blob, stripe + 1000 * version),
+            providers=("p0",),
+            created_by=(blob, version),
+        )
+
+    def test_lookup_after_derive(self):
+        store = MetadataStore()
+        store.create_empty(1, 0)
+        store.derive_version(1, 0, 1, {0: self._descriptor(0), 2: self._descriptor(2)})
+        assert store.lookup(1, 1, 0).stripe_index == 0
+        assert store.lookup(1, 1, 1) is None
+        assert store.lookup(1, 1, 2).stripe_index == 2
+
+    def test_shadowing_preserves_old_versions(self):
+        store = MetadataStore()
+        store.create_empty(1, 0)
+        store.derive_version(1, 0, 1, {0: self._descriptor(0, version=1)})
+        store.derive_version(1, 1, 2, {0: self._descriptor(0, version=2)})
+        assert store.lookup(1, 1, 0).created_by == (1, 1)
+        assert store.lookup(1, 2, 0).created_by == (1, 2)
+
+    def test_unmodified_stripes_shared(self):
+        store = MetadataStore()
+        store.create_empty(1, 0, stripes_hint=8)
+        store.derive_version(1, 0, 1, {i: self._descriptor(i) for i in range(8)})
+        nodes_before = store.nodes_allocated
+        new_nodes = store.derive_version(1, 1, 2, {3: self._descriptor(3, version=2)})
+        # A single-stripe update touches only one root-to-leaf path.
+        assert new_nodes <= 5
+        assert store.nodes_allocated == nodes_before + new_nodes
+
+    def test_tree_grows_for_large_stripe_index(self):
+        store = MetadataStore()
+        store.create_empty(1, 0, stripes_hint=1)
+        store.derive_version(1, 0, 1, {100: self._descriptor(100)})
+        assert store.lookup(1, 1, 100) is not None
+        assert store.lookup(1, 1, 99) is None
+
+    def test_clone_shares_tree(self):
+        store = MetadataStore()
+        store.create_empty(1, 0)
+        store.derive_version(1, 0, 1, {0: self._descriptor(0), 5: self._descriptor(5)})
+        store.clone_version(1, 1, 2)
+        assert store.lookup(2, 0, 5).key == store.lookup(1, 1, 5).key
+
+    def test_unknown_version_raises(self):
+        store = MetadataStore()
+        with pytest.raises(VersionNotFoundError):
+            store.lookup(1, 0, 0)
+
+    def test_descriptors_in_range(self):
+        store = MetadataStore()
+        store.create_empty(1, 0, stripes_hint=16)
+        store.derive_version(1, 0, 1, {i: self._descriptor(i) for i in (1, 3, 7, 12)})
+        found = store.descriptors_in_range(1, 1, 2, 8)
+        assert sorted(d.stripe_index for d in found) == [3, 7]
+
+    def test_footprints(self):
+        store = MetadataStore()
+        store.create_empty(1, 0)
+        store.derive_version(1, 0, 1, {0: self._descriptor(0, length=10)})
+        store.derive_version(1, 1, 2, {1: self._descriptor(1, version=2, length=20)})
+        assert store.version_footprint(1, 2) == 30
+        assert store.incremental_footprint(1, 2) == 20
+        assert store.incremental_footprint(1, 1) == 10
+
+
+class TestVersionManager:
+    def test_publish_assigns_monotonic_versions(self):
+        vm = VersionManager()
+        blob = vm.create_blob(1024)
+        v0 = vm.publish(blob, size=0, incremental_bytes=0, parent=None)
+        v1 = vm.publish(blob, size=10, incremental_bytes=10, parent=(blob, 0))
+        assert (v0.version, v1.version) == (0, 1)
+        assert vm.latest(blob).size == 10
+
+    def test_unknown_blob_raises(self):
+        vm = VersionManager()
+        with pytest.raises(StorageError):
+            vm.get(99)
+
+    def test_lineage_crosses_clone(self):
+        vm = VersionManager()
+        origin = vm.create_blob(1024)
+        vm.publish(origin, size=0, incremental_bytes=0, parent=None)
+        vm.publish(origin, size=5, incremental_bytes=5, parent=(origin, 0))
+        clone = vm.create_blob(1024, cloned_from=(origin, 1))
+        vm.publish(clone, size=5, incremental_bytes=0, parent=None)
+        vm.publish(clone, size=9, incremental_bytes=4, parent=(clone, 0))
+        chain = vm.lineage(clone, 1)
+        assert (origin, 1) in chain
+        assert chain[0] == (clone, 1)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(StorageError):
+            VersionManager().create_blob(0)
+
+
+class TestBlobClient:
+    def test_write_read_roundtrip(self):
+        client = make_client()
+        blob = client.create_blob()
+        payload = SyntheticBytes("roundtrip", 5000)
+        client.write(blob, 0, payload)
+        assert client.read(blob).read() == payload.read()
+
+    def test_write_creates_new_version_and_keeps_old(self):
+        client = make_client(chunk_size=64)
+        blob = client.create_blob()
+        client.write(blob, 0, LiteralBytes(b"A" * 128))
+        client.write(blob, 0, LiteralBytes(b"B" * 64))
+        assert client.read(blob, version=1).read() == b"A" * 128
+        assert client.read(blob, version=2).read() == b"B" * 64 + b"A" * 64
+
+    def test_sparse_blob_reads_zeros(self):
+        client = make_client(chunk_size=64)
+        blob = client.create_blob()
+        client.write(blob, 128, LiteralBytes(b"tail"))
+        data = client.read(blob).read()
+        assert data[:128] == b"\x00" * 128
+        assert data[128:] == b"tail"
+
+    def test_partial_stripe_write_preserves_neighbours(self):
+        client = make_client(chunk_size=64)
+        blob = client.create_blob()
+        client.write(blob, 0, LiteralBytes(bytes(range(128))))
+        client.write(blob, 10, LiteralBytes(b"\xff" * 4))
+        data = client.read(blob).read()
+        assert data[10:14] == b"\xff" * 4
+        assert data[:10] == bytes(range(10))
+        assert data[14:128] == bytes(range(14, 128))
+
+    def test_unaligned_write_only_stores_touched_stripes(self):
+        client = make_client(chunk_size=64)
+        blob = client.create_blob()
+        client.write(blob, 0, LiteralBytes(b"x" * 256))
+        result = client.write(blob, 70, LiteralBytes(b"y" * 10))
+        assert len(result.chunks) == 1  # only stripe 1 rewritten
+        assert result.bytes_written == 64
+
+    def test_incremental_footprint_tracks_only_new_data(self):
+        client = make_client(chunk_size=64)
+        blob = client.create_blob()
+        client.write(blob, 0, LiteralBytes(b"a" * 256))
+        second = client.write(blob, 0, LiteralBytes(b"b" * 64))
+        assert client.incremental_footprint(blob, second.version) == 64
+        assert client.version_footprint(blob, second.version) == 256
+
+    def test_clone_shares_then_diverges(self):
+        client = make_client(chunk_size=64)
+        origin = client.create_blob()
+        client.write(origin, 0, LiteralBytes(b"base" * 32))
+        footprint_before = client.storage_footprint()
+        clone = client.clone(origin)
+        # Cloning stores no new chunk data.
+        assert client.storage_footprint() == footprint_before
+        assert client.read(clone).read() == client.read(origin).read()
+        client.write(clone, 0, LiteralBytes(b"diverged" + b"!" * 56))
+        assert client.read(clone).read()[:8] == b"diverged"
+        assert client.read(origin).read()[:4] == b"base"
+
+    def test_replication_survives_provider_failure(self):
+        client = make_client(num_providers=4, replication=2, chunk_size=64)
+        blob = client.create_blob()
+        result = client.write(blob, 0, LiteralBytes(b"k" * 256))
+        # Fail one provider that holds data.
+        victim = result.chunks[0][2][0]
+        client.providers.get(victim).fail()
+        assert client.read(blob).read() == b"k" * 256
+
+    def test_read_outside_blob_raises(self):
+        client = make_client()
+        blob = client.create_blob()
+        client.write(blob, 0, LiteralBytes(b"abc"))
+        with pytest.raises(StorageError):
+            client.read(blob, 0, 10)
+
+    def test_provider_bytes_accounting(self):
+        client = make_client(num_providers=3, replication=2, chunk_size=64)
+        blob = client.create_blob()
+        result = client.write(blob, 0, LiteralBytes(b"z" * 128))
+        per_provider = result.provider_bytes
+        assert sum(per_provider.values()) == 2 * 128  # replicated twice
+
+    def test_write_negative_offset_rejected(self):
+        client = make_client()
+        blob = client.create_blob()
+        with pytest.raises(StorageError):
+            client.write(blob, -1, LiteralBytes(b"x"))
+
+    def test_create_blob_with_initial_data(self):
+        client = make_client(chunk_size=64)
+        blob = client.create_blob(initial_data=LiteralBytes(b"init" * 40))
+        assert client.read(blob).read() == b"init" * 40
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 2000), st.binary(min_size=1, max_size=600)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_blob_matches_reference_buffer(writes):
+    """A sequence of random writes must read back like a plain bytearray."""
+    client = make_client(num_providers=3, replication=1, chunk_size=128)
+    blob = client.create_blob()
+    reference = bytearray()
+    for offset, data in writes:
+        client.write(blob, offset, LiteralBytes(data))
+        if len(reference) < offset + len(data):
+            reference.extend(b"\x00" * (offset + len(data) - len(reference)))
+        reference[offset : offset + len(data)] = data
+    assert client.read(blob).read() == bytes(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 1000), st.binary(min_size=1, max_size=300)),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_property_old_versions_immutable(writes):
+    """Publishing new versions never changes the contents of older ones."""
+    client = make_client(num_providers=3, replication=1, chunk_size=128)
+    blob = client.create_blob()
+    snapshots = []
+    for offset, data in writes:
+        result = client.write(blob, offset, LiteralBytes(data))
+        snapshots.append((result.version, client.read(blob, version=result.version).read()))
+    for version, expected in snapshots:
+        assert client.read(blob, version=version).read() == expected

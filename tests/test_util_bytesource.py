@@ -1,0 +1,165 @@
+"""Unit tests for the ByteSource payload abstraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import LiteralBytes, SyntheticBytes, ZeroBytes, concat
+from repro.util.bytesource import ByteSource
+
+
+class TestLiteralBytes:
+    def test_size_and_read(self):
+        src = LiteralBytes(b"hello world")
+        assert src.size == 11
+        assert src.read() == b"hello world"
+        assert src.read(6, 5) == b"world"
+
+    def test_slice_matches_read(self):
+        src = LiteralBytes(bytes(range(100)))
+        assert src.slice(10, 20).read() == src.read(10, 20)
+
+    def test_out_of_range_read_raises(self):
+        src = LiteralBytes(b"abc")
+        with pytest.raises(ValueError):
+            src.read(1, 5)
+        with pytest.raises(ValueError):
+            src.read(-1, 1)
+
+    def test_equality_by_content(self):
+        assert LiteralBytes(b"abc") == LiteralBytes(b"abc")
+        assert LiteralBytes(b"abc") != LiteralBytes(b"abd")
+        assert LiteralBytes(b"abc") != LiteralBytes(b"abcd")
+
+    def test_to_bytes(self):
+        assert LiteralBytes(b"xyz").to_bytes() == b"xyz"
+
+
+class TestZeroBytes:
+    def test_reads_zeros(self):
+        src = ZeroBytes(16)
+        assert src.read() == b"\x00" * 16
+        assert src.read(4, 4) == b"\x00" * 4
+
+    def test_slice(self):
+        assert ZeroBytes(10).slice(2, 5).size == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ZeroBytes(-1)
+
+    def test_equals_literal_zeros(self):
+        assert ZeroBytes(8) == LiteralBytes(b"\x00" * 8)
+
+
+class TestSyntheticBytes:
+    def test_deterministic(self):
+        a = SyntheticBytes("seed", 4096)
+        b = SyntheticBytes("seed", 4096)
+        assert a.read() == b.read()
+        assert a == b
+
+    def test_different_seed_different_content(self):
+        a = SyntheticBytes("seed-a", 1024)
+        b = SyntheticBytes("seed-b", 1024)
+        assert a.read() != b.read()
+
+    def test_slice_consistency(self):
+        src = SyntheticBytes("slices", 200_000)
+        assert src.slice(70_000, 1000).read() == src.read(70_000, 1000)
+
+    def test_nested_slicing(self):
+        src = SyntheticBytes("nested", 100_000)
+        outer = src.slice(10_000, 50_000)
+        assert outer.slice(5_000, 100).read() == src.read(15_000, 100)
+
+    def test_huge_size_not_materialised(self):
+        src = SyntheticBytes("huge", 10 * 1024**3)
+        assert src.size == 10 * 1024**3
+        with pytest.raises(ValueError):
+            src.to_bytes()
+        # but small windows can still be read
+        assert len(src.read(5 * 1024**3, 64)) == 64
+
+    def test_fingerprint_distinguishes_windows(self):
+        src = SyntheticBytes("fp", 4096)
+        assert src.slice(0, 1024).fingerprint() != src.slice(1024, 1024).fingerprint()
+
+
+class TestConcat:
+    def test_concat_roundtrip(self):
+        parts = [LiteralBytes(b"abc"), ZeroBytes(3), LiteralBytes(b"def")]
+        joined = concat(parts)
+        assert joined.size == 9
+        assert joined.read() == b"abc\x00\x00\x00def"
+
+    def test_concat_window_read(self):
+        joined = concat([LiteralBytes(b"0123"), LiteralBytes(b"4567"), LiteralBytes(b"89")])
+        assert joined.read(2, 5) == b"23456"
+
+    def test_concat_slice(self):
+        joined = concat([LiteralBytes(b"0123"), LiteralBytes(b"4567")])
+        assert joined.slice(3, 3).read() == b"345"
+
+    def test_concat_empty(self):
+        assert concat([]).size == 0
+        assert concat([LiteralBytes(b"")]).size == 0
+
+    def test_concat_single_passthrough(self):
+        part = LiteralBytes(b"solo")
+        assert concat([part]) is part
+
+    def test_equals_equivalent_literal(self):
+        joined = concat([LiteralBytes(b"ab"), LiteralBytes(b"cd")])
+        assert joined == LiteralBytes(b"abcd")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=2000),
+    window=st.tuples(st.integers(0, 1999), st.integers(0, 1999)),
+)
+def test_property_literal_slice_equals_python_slice(data, window):
+    """slice/read must agree with Python byte slicing for every window."""
+    start, length = window
+    src = LiteralBytes(data)
+    start = min(start, len(data))
+    length = min(length, len(data) - start)
+    assert src.read(start, length) == data[start : start + length]
+    assert src.slice(start, length).read() == data[start : start + length]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 500), min_size=1, max_size=6),
+    seed=st.integers(0, 10),
+)
+def test_property_concat_equals_joined_bytes(sizes, seed):
+    """Concatenation behaves exactly like joining the materialised parts."""
+    parts = [SyntheticBytes((seed, i), n) for i, n in enumerate(sizes)]
+    joined = concat(parts)
+    reference = b"".join(p.read() for p in parts)
+    assert joined.size == len(reference)
+    assert joined.read() == reference
+    if joined.size >= 2:
+        mid = joined.size // 2
+        assert joined.read(1, mid) == reference[1 : 1 + mid]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(1, 100_000),
+    offset=st.integers(0, 99_999),
+    length=st.integers(0, 4096),
+)
+def test_property_synthetic_slice_window(size, offset, length):
+    """Any window of a SyntheticBytes equals the same window of its slices."""
+    src = SyntheticBytes("prop", size)
+    offset = min(offset, size)
+    length = min(length, size - offset)
+    assert src.slice(offset, length).read() == src.read(offset, length)
+
+
+def test_bytesource_is_abstract():
+    with pytest.raises(TypeError):
+        ByteSource()  # type: ignore[abstract]
