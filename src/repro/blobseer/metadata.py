@@ -39,6 +39,16 @@ class ChunkDescriptor:
     #: ``(blob_id, version)`` that first introduced this descriptor; used for
     #: incremental-size accounting and garbage collection
     created_by: Tuple[int, int]
+    #: physical bytes this descriptor added to the store when it was created:
+    #: ``None`` means "stored verbatim" (= ``length``), a smaller value means
+    #: the chunk was compressed, and 0 means the content was deduplicated
+    #: against an already-stored canonical chunk (nothing was shipped)
+    physical_length: Optional[int] = None
+
+    @property
+    def stored_bytes(self) -> int:
+        """Physical bytes introduced by this descriptor (dedup/compression aware)."""
+        return self.length if self.physical_length is None else self.physical_length
 
 
 class SegmentNode:
@@ -118,6 +128,9 @@ class MetadataStore:
         self._capacity: Dict[Tuple[int, int], int] = {}
         #: total segment-tree nodes ever allocated (metadata I/O accounting)
         self.nodes_allocated = 0
+        #: logical chunk key -> canonical chunk key holding identical content
+        #: (recorded by the dedup write path, resolved by the read path)
+        self._chunk_aliases: Dict[ChunkKey, ChunkKey] = {}
 
     # -- version management ------------------------------------------------------
 
@@ -192,6 +205,34 @@ class MetadataStore:
         self._roots.pop((blob_id, version), None)
         self._capacity.pop((blob_id, version), None)
 
+    # -- chunk aliases (dedup) --------------------------------------------------------
+
+    def register_chunk_alias(self, logical: ChunkKey, canonical: ChunkKey) -> None:
+        """Record that ``logical`` is backed by the stored chunk ``canonical``."""
+        if logical == canonical:
+            raise StorageError(f"chunk {logical} cannot alias itself")
+        # Never create alias chains: resolve the target first so every alias
+        # points directly at a physically stored chunk.
+        canonical = self._chunk_aliases.get(canonical, canonical)
+        if logical in self._chunk_aliases:
+            raise StorageError(f"chunk {logical} already has an alias")
+        self._chunk_aliases[logical] = canonical
+
+    def resolve_chunk(self, key: ChunkKey) -> ChunkKey:
+        """Map a logical chunk key to the key it is physically stored under."""
+        return self._chunk_aliases.get(key, key)
+
+    def drop_chunk_alias(self, logical: ChunkKey) -> bool:
+        """Forget an alias (the referencing descriptor was garbage collected)."""
+        return self._chunk_aliases.pop(logical, None) is not None
+
+    def is_chunk_alias(self, key: ChunkKey) -> bool:
+        return key in self._chunk_aliases
+
+    @property
+    def chunk_alias_count(self) -> int:
+        return len(self._chunk_aliases)
+
     # -- queries ---------------------------------------------------------------------
 
     def lookup(self, blob_id: int, version: int, stripe_index: int) -> Optional[ChunkDescriptor]:
@@ -251,10 +292,16 @@ class MetadataStore:
                 total += desc.length
         return total
 
-    def incremental_footprint(self, blob_id: int, version: int) -> int:
-        """Bytes introduced by ``version`` itself (descriptors it created)."""
+    def incremental_footprint(self, blob_id: int, version: int, *,
+                              physical: bool = False) -> int:
+        """Bytes introduced by ``version`` itself (descriptors it created).
+
+        ``physical=True`` reports what the version actually added to the
+        providers' disks: 0 for deduplicated stripes, the compressed size for
+        compressed ones.
+        """
         total = 0
         for desc in self.iter_descriptors(blob_id, version):
             if desc.created_by == (blob_id, version):
-                total += desc.length
+                total += desc.stored_bytes if physical else desc.length
         return total

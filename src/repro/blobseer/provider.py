@@ -11,8 +11,9 @@ what gives the checkpoint repository its even load distribution.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional
 
 from repro.util.bytesource import ByteSource
 from repro.util.errors import ChunkNotFoundError, StorageError
@@ -31,10 +32,19 @@ class Chunk:
 
     key: ChunkKey
     data: ByteSource
+    #: bytes the chunk occupies on disk after compression; ``None`` means the
+    #: chunk is stored verbatim (``data.size``).  The payload itself is kept
+    #: uncompressed so reads stay byte-exact; only the accounting differs.
+    stored_size: Optional[int] = None
 
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def footprint(self) -> int:
+        """Physical bytes this chunk occupies on a provider's disk."""
+        return self.data.size if self.stored_size is None else self.stored_size
 
 
 class DataProvider:
@@ -74,13 +84,13 @@ class DataProvider:
         if chunk.key in self._chunks:
             # Chunks are immutable; re-storing the same key is idempotent.
             return
-        if chunk.size > self.free_bytes:
+        if chunk.footprint > self.free_bytes:
             raise StorageError(
                 f"provider {self.provider_id} is full "
-                f"({chunk.size} needed, {self.free_bytes} free)"
+                f"({chunk.footprint} needed, {self.free_bytes} free)"
             )
         self._chunks[chunk.key] = chunk
-        self._used += chunk.size
+        self._used += chunk.footprint
         self.stored_chunks_total += 1
 
     def has(self, key: ChunkKey) -> bool:
@@ -103,7 +113,7 @@ class DataProvider:
         chunk = self._chunks.pop(key, None)
         if chunk is None:
             return False
-        self._used -= chunk.size
+        self._used -= chunk.footprint
         return True
 
     def keys(self) -> Iterable[ChunkKey]:
@@ -144,6 +154,10 @@ class ProviderManager:
         self.replication = replication
         self._providers: Dict[str, DataProvider] = {}
         self._rr = itertools.count()
+        #: maps a requested chunk key to the key it is physically stored under
+        #: (logical -> canonical alias resolution of the dedup layer); set by
+        #: :class:`~repro.blobseer.client.BlobClient`
+        self.alias_resolver: Optional[Callable[[ChunkKey], ChunkKey]] = None
 
     # -- registry -------------------------------------------------------------
 
@@ -182,22 +196,35 @@ class ProviderManager:
             raise StorageError("no live data provider has room for the chunk")
         count = min(self.replication, len(live))
         tie = next(self._rr)
+        # The tie-break must be stable across interpreter runs, so it uses a
+        # CRC of the provider id rather than Python's randomized str hash.
         ranked = sorted(
             live,
-            key=lambda p: (p.used_bytes, (hash(p.provider_id) + tie) % len(live)),
+            key=lambda p: (p.used_bytes,
+                           (zlib.crc32(p.provider_id.encode()) + tie) % len(live)),
         )
         return PlacementDecision(key=key, providers=[p.provider_id for p in ranked[:count]])
 
     def store_replicated(self, chunk: Chunk, placement: Optional[PlacementDecision] = None
                          ) -> PlacementDecision:
         """Store ``chunk`` on the providers chosen by ``placement`` (or pick them)."""
-        decision = placement or self.place(chunk.key, chunk.size)
+        # Capacity is consumed at the stored (possibly compressed) footprint,
+        # so placement must size-check against that, not the logical size.
+        decision = placement or self.place(chunk.key, chunk.footprint)
         for provider_id in decision.providers:
             self.get(provider_id).store(chunk)
         return decision
 
     def fetch_any(self, key: ChunkKey, preferred: Iterable[str] = ()) -> Chunk:
-        """Fetch a chunk from the first live provider that still has it."""
+        """Fetch a chunk from the first live provider that still has it.
+
+        When a dedup layer is active, ``key`` may be a logical alias of a
+        canonical chunk that holds the identical content; the alias is
+        resolved here so every read path sees the deduplicated store
+        transparently.
+        """
+        if self.alias_resolver is not None:
+            key = self.alias_resolver(key)
         tried = []
         for provider_id in list(preferred):
             tried.append(provider_id)

@@ -3,12 +3,15 @@
 Runs any subset of the paper's experiments at a chosen scale and prints the
 resulting tables.  ``--paper-scale`` uses the original axis (up to 120 VMs /
 400 CM1 processes), which takes several minutes; the default reduced scale
-reproduces the same qualitative shapes in well under a minute.
+reproduces the same qualitative shapes in well under a minute.  ``--json``
+additionally dumps every regenerated table as machine-readable JSON for the
+benchmark trajectory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
@@ -18,12 +21,13 @@ from repro.experiments import (
     run_fig4,
     run_fig5,
     run_fig6,
+    run_fig7,
     run_table1,
 )
 from repro.experiments.fig6_cm1 import BENCH_CM1_PROCESSES, PAPER_CM1_PROCESSES
 from repro.experiments.harness import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
 
-_ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "table1")
+_ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1")
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -35,6 +39,8 @@ def main(argv: List[str] | None = None) -> int:
                         help=f"which experiments to run (default: all of {', '.join(_ALL)})")
     parser.add_argument("--paper-scale", action="store_true",
                         help="use the paper's full scale (slower)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the results as JSON to PATH ('-' for stdout)")
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in _ALL]
@@ -50,12 +56,29 @@ def main(argv: List[str] | None = None) -> int:
         "fig4": lambda: run_fig4(),
         "fig5": lambda: run_fig5(),
         "fig6": lambda: run_fig6(process_counts=cm1_scale),
+        "fig7": lambda: run_fig7(),
         "table1": lambda: run_table1(processes=cm1_scale[0]),
     }
+    collected = {}
     for name in args.experiments:
         result = runners[name]()
         print(result.to_table())
         print()
+        collected[name] = {
+            "experiment": result.experiment,
+            "description": result.description,
+            "rows": result.rows,
+        }
+    if args.json is not None:
+        payload = json.dumps(collected, indent=2, default=str)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                parser.error(f"cannot write JSON output to {args.json}: {exc}")
     return 0
 
 

@@ -7,7 +7,10 @@ version explicitly pinned, e.g. because a restart may still roll back to it)
 and deletes the chunks that only those discarded versions reference.
 
 Chunks shared with retained versions -- or with the base image through
-cloning -- are never touched, which the tests verify.
+cloning -- are never touched, which the tests verify.  When the dedup layer
+is active, collection is reference-counted: a dropped descriptor releases one
+reference on the canonical chunk holding its content, and the physical chunk
+is reclaimed only when the last referencing alias is gone.
 """
 
 from __future__ import annotations
@@ -25,8 +28,14 @@ class GCReport:
 
     examined_blobs: int = 0
     dropped_versions: List[Tuple[int, int]] = field(default_factory=list)
+    #: per-replica chunk deletions performed on the providers
     deleted_chunks: int = 0
+    #: physical bytes freed on provider disks (replicas included)
     reclaimed_bytes: int = 0
+    #: dedup aliases dropped with their referencing descriptors
+    released_aliases: int = 0
+    #: canonical chunks kept alive because other aliases still reference them
+    retained_canonical_chunks: int = 0
 
 
 class SnapshotGarbageCollector:
@@ -45,6 +54,15 @@ class SnapshotGarbageCollector:
             for desc in client.metadata.iter_descriptors(blob_id, version):
                 keys.add(desc.key)
         return keys
+
+    def _delete_physical(self, key: ChunkKey, report: GCReport) -> None:
+        """Remove every replica of a chunk, accounting the freed disk bytes."""
+        for provider in self.repository.client.providers.providers:
+            if provider.has(key):
+                chunk = provider.fetch(key)
+                provider.delete(key)
+                report.deleted_chunks += 1
+                report.reclaimed_bytes += chunk.footprint
 
     def collect(self, blob_ids: Optional[Iterable[int]] = None,
                 pinned: Optional[Dict[int, Iterable[int]]] = None) -> GCReport:
@@ -79,19 +97,28 @@ class SnapshotGarbageCollector:
         for blob_id, (keep, _drop) in plans.items():
             retained_keys |= self._referenced_keys(blob_id, keep)
 
-        # Phase 3: chunks referenced only by dropped versions can go.
+        # Phase 3: chunks referenced only by dropped versions can go.  With
+        # the dedup layer, a dropped descriptor holds one *reference* on a
+        # canonical chunk: the physical chunk dies only when its last alias
+        # is dropped (refcount-aware collection).
         drop_keys: Set[ChunkKey] = set()
         for blob_id, (_keep, drop) in plans.items():
             drop_keys |= self._referenced_keys(blob_id, drop)
         drop_keys -= retained_keys
 
+        engine = client.dedup
+        metadata = client.metadata
         for key in drop_keys:
-            for provider in client.providers.providers:
-                if provider.has(key):
-                    chunk = provider.fetch(key)
-                    provider.delete(key)
-                    report.deleted_chunks += 1
-                    report.reclaimed_bytes += chunk.size
+            canonical = metadata.resolve_chunk(key)
+            if metadata.drop_chunk_alias(key):
+                report.released_aliases += 1
+            if engine is not None:
+                entry = engine.release(canonical)
+                if entry is not None and entry.refcount > 0:
+                    # Other descriptors still reference this content.
+                    report.retained_canonical_chunks += 1
+                    continue
+            self._delete_physical(canonical, report)
 
         # Phase 4: forget the dropped versions' metadata and records.
         for blob_id, (keep, drop) in plans.items():

@@ -18,6 +18,8 @@ from typing import Dict, Generator, Iterable, List, Optional, Tuple
 from repro.blobseer import BlobClient, DataProvider, ProviderManager
 from repro.blobseer.client import WriteResult
 from repro.cluster.cloud import Cloud
+from repro.dedup.codec import HEADER_BYTES
+from repro.dedup.engine import build_engine
 from repro.util.bytesource import ByteSource
 from repro.util.config import BlobSeerSpec
 from repro.util.errors import StorageError
@@ -37,7 +39,10 @@ class CheckpointRepository:
             providers.register(provider)
             node.register_service("data-provider", provider)
             node.on_failure(lambda failed, p=provider: p.fail())
-        self.client = BlobClient(providers=providers, default_chunk_size=self.spec.chunk_size)
+        # Content-addressed dedup + compression layer (None when disabled).
+        self.dedup = build_engine(self.spec.dedup)
+        self.client = BlobClient(providers=providers, default_chunk_size=self.spec.chunk_size,
+                                 dedup=self.dedup)
         # Service placement: version manager and provider manager on the
         # first two service nodes, metadata providers on the rest.
         service_names = [n.name for n in cloud.service_nodes] or [cloud.compute_nodes[0].name]
@@ -56,6 +61,7 @@ class CheckpointRepository:
         )
         #: counters
         self.bytes_committed = 0
+        self.logical_bytes_committed = 0
         self.bytes_served = 0
         self.commit_count = 0
 
@@ -109,11 +115,18 @@ class CheckpointRepository:
         nbytes = result.bytes_written if result else 0
         yield self.cloud.network.message(client_node, self.version_manager_node,
                                          label="create-blob")
+        if result and result.compression_cpu_seconds:
+            yield self.cloud.env.timeout(result.compression_cpu_seconds)
         if nbytes:
             yield self._data_write(client_node, nbytes, label=f"upload:{tag}")
+        if result:
+            # Dedup-hit stripes still publish a descriptor + alias record, so
+            # they count toward the metadata RPCs even though no data shipped.
             yield self.cloud.env.timeout(
-                self._metadata_time(len(result.chunks), result.metadata_nodes)
+                self._metadata_time(len(result.chunks) + result.dedup_hits,
+                                    result.metadata_nodes)
             )
+            self.logical_bytes_committed += result.logical_bytes
         self.bytes_committed += nbytes
         return blob_id
 
@@ -146,12 +159,16 @@ class CheckpointRepository:
         pieces = [(index * block_size, payload) for index, payload in sorted(blocks.items())]
         result = self.client.write_batch(blob_id, pieces, tag=tag or "commit")
         yield self.cloud.network.message(client_node, self.version_manager_node, label="commit")
+        if result.compression_cpu_seconds:
+            # Fingerprinting + compression runs on the committing node's CPU.
+            yield self.cloud.env.timeout(result.compression_cpu_seconds)
         if result.bytes_written:
             yield self._data_write(client_node, result.bytes_written,
                                    label=f"commit:{blob_id}@{result.version}")
-        yield self.cloud.env.timeout(self._metadata_time(len(result.chunks),
-                                                         result.metadata_nodes))
+        yield self.cloud.env.timeout(self._metadata_time(
+            len(result.chunks) + result.dedup_hits, result.metadata_nodes))
         self.bytes_committed += result.bytes_written
+        self.logical_bytes_committed += result.logical_bytes
         self.commit_count += 1
         return result
 
@@ -161,9 +178,44 @@ class CheckpointRepository:
         data = self.client.read(blob_id, offset, size, version=version)
         yield self.cloud.network.message(client_node, self.version_manager_node, label="read")
         if size > 0:
-            yield self._data_read(client_node, size, label=label or f"read:{blob_id}")
+            if self.dedup is None:
+                yield self._data_read(client_node, size, label=label or f"read:{blob_id}")
+            else:
+                # Chunks travel compressed and are inflated on the reading
+                # node; holes and header-only zero chunks cost (almost)
+                # nothing on either axis.
+                physical, inflatable = self._read_window_cost(blob_id, offset, size, version)
+                if physical > 0:
+                    yield self._data_read(client_node, physical,
+                                          label=label or f"read:{blob_id}")
+                cpu = self.dedup.codec.decompress_seconds(inflatable)
+                if cpu > 0:
+                    yield self.cloud.env.timeout(cpu)
         self.bytes_served += size
         return data
+
+    def _read_window_cost(self, blob_id: int, offset: int, size: int,
+                          version: Optional[int]) -> Tuple[float, int]:
+        """(physical bytes to transfer, logical bytes to inflate) for a read.
+
+        Only meaningful with the dedup layer on: stored chunks are shipped at
+        their compressed footprint (aliases resolve to their canonical chunk)
+        and only content that was actually compressed charges decompression
+        CPU.  Holes transfer nothing.
+        """
+        physical = 0.0
+        inflatable = 0
+        for segment in self.client.read_plan(blob_id, offset, size, version):
+            descriptor = segment.descriptor
+            if descriptor is None or descriptor.length == 0:
+                continue
+            canonical = self.client.metadata.resolve_chunk(descriptor.key)
+            entry = self.dedup.index.entry_for_key(canonical)
+            stored = entry.stored_size if entry is not None else descriptor.length
+            physical += stored * (segment.length / descriptor.length)
+            if stored > HEADER_BYTES:
+                inflatable += segment.length
+        return physical, inflatable
 
     def fetch_hot_content(self, client_node: str, nbytes: float, label: str = "") -> Generator:
         """Simulation process: charge the transfer of lazily fetched image content.
@@ -179,13 +231,20 @@ class CheckpointRepository:
 
     # -- accounting -------------------------------------------------------------------------
 
-    def snapshot_incremental_size(self, blob_id: int, version: int) -> int:
-        """Bytes of new data introduced by one snapshot (Figure 4 / Table 1)."""
-        return self.client.incremental_footprint(blob_id, version)
+    def snapshot_incremental_size(self, blob_id: int, version: int, *,
+                                  physical: bool = False) -> int:
+        """Bytes of new data introduced by one snapshot (Figure 4 / Table 1).
 
-    def snapshot_full_size(self, blob_id: int, version: Optional[int] = None) -> int:
+        The default reports the *logical* size (what the paper measures);
+        ``physical=True`` reports what the snapshot actually added to the
+        providers' disks after dedup and compression.
+        """
+        return self.client.incremental_footprint(blob_id, version, physical=physical)
+
+    def snapshot_full_size(self, blob_id: int, version: Optional[int] = None, *,
+                           physical: bool = False) -> int:
         """Bytes of unique data referenced by one snapshot."""
-        return self.client.version_footprint(blob_id, version)
+        return self.client.version_footprint(blob_id, version, physical=physical)
 
     @property
     def total_stored_bytes(self) -> int:
@@ -194,3 +253,7 @@ class CheckpointRepository:
 
     def provider_usage(self) -> Dict[str, int]:
         return {p.provider_id: p.used_bytes for p in self.client.providers.providers}
+
+    def dedup_report(self) -> Optional[Dict]:
+        """Dedup / compression statistics, or ``None`` when the layer is off."""
+        return self.dedup.stats() if self.dedup is not None else None

@@ -18,6 +18,7 @@ from repro.experiments.fig3_restart import run_fig3
 from repro.experiments.fig4_snapshot_size import run_fig4
 from repro.experiments.fig5_successive import run_fig5
 from repro.experiments.fig6_cm1 import run_fig6
+from repro.experiments.fig7_dedup import run_fig7
 from repro.experiments.table1_cm1_size import run_table1
 
 __all__ = [
@@ -31,5 +32,6 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig6",
+    "run_fig7",
     "run_table1",
 ]

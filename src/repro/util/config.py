@@ -89,6 +89,42 @@ class VMSpec:
 
 
 @dataclass(frozen=True)
+class DedupSpec:
+    """Content-addressed dedup + compression layer of the chunk repository.
+
+    Disabled by default so that the paper's figures are reproduced with the
+    storage semantics the paper measured; the ``fig7`` ablation enables it.
+    """
+
+    enabled: bool = False
+    #: storage codec: ``identity`` (dedup only), ``zlib`` or ``lz4``
+    codec: str = "identity"
+    #: override the codec's default logical/physical compression ratio
+    compression_ratio: float | None = None
+    #: override the codec's default single-core throughput (bytes/s)
+    compress_bandwidth: float | None = None
+    decompress_bandwidth: float | None = None
+    #: BLAKE2b fingerprinting throughput charged as CPU time (bytes/s);
+    #: ~1 GB/s matches a single Xeon X3440 core, 0 disables the charge
+    fingerprint_bandwidth: float = 1000 * MB
+
+    def validate(self) -> None:
+        if self.codec not in ("identity", "zlib", "lz4"):
+            raise ConfigurationError(f"unknown dedup codec {self.codec!r}")
+        if self.compression_ratio is not None and self.compression_ratio < 1.0:
+            raise ConfigurationError(
+                f"compression ratio must be >= 1: {self.compression_ratio}"
+            )
+        for bandwidth in (self.compress_bandwidth, self.decompress_bandwidth):
+            if bandwidth is not None and bandwidth <= 0:
+                raise ConfigurationError(f"codec bandwidth must be positive: {bandwidth}")
+        if self.fingerprint_bandwidth < 0:
+            raise ConfigurationError(
+                f"fingerprint bandwidth must be >= 0: {self.fingerprint_bandwidth}"
+            )
+
+
+@dataclass(frozen=True)
 class BlobSeerSpec:
     """Deployment parameters of the BlobSeer-backed checkpoint repository."""
 
@@ -107,8 +143,11 @@ class BlobSeerSpec:
     #: fraction of the aggregate provider disk bandwidth BlobSeer sustains
     #: for striped writes under heavy concurrency (its design goal)
     io_efficiency: float = 0.55
+    #: content-addressed dedup + compression layer (disabled by default)
+    dedup: DedupSpec = field(default_factory=DedupSpec)
 
     def validate(self) -> None:
+        self.dedup.validate()
         if self.chunk_size <= 0 or self.replication < 1:
             raise ConfigurationError(f"invalid BlobSeer specification: {self}")
         if self.metadata_providers < 1:

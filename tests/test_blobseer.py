@@ -90,6 +90,20 @@ class TestProviderManager:
         counts = [p.chunk_count for p in manager.providers]
         assert max(counts) - min(counts) <= 1
 
+    def test_placement_tie_break_is_hash_seed_independent(self):
+        # The tie-break ranks empty providers by CRC32 of their id (plus a
+        # round-robin offset), not by Python's randomized str hash, so the
+        # same registration order yields the same placement in every run.
+        import zlib as _zlib
+
+        manager = ProviderManager(replication=1)
+        names = [f"p{i}" for i in range(6)]
+        for name in names:
+            manager.register(DataProvider(name))
+        decision = manager.place(ChunkKey(1, 1), 100)
+        expected = min(names, key=lambda n: _zlib.crc32(n.encode()) % len(names))
+        assert decision.providers == [expected]
+
     def test_fetch_any_falls_back_to_replica(self):
         manager = ProviderManager(replication=2)
         for i in range(3):

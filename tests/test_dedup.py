@@ -1,0 +1,347 @@
+"""Tests of the content-addressed dedup & compression subsystem."""
+
+import pytest
+
+from repro.blobseer import BlobClient, Chunk, ChunkKey, DataProvider, ProviderManager
+from repro.dedup import (
+    HEADER_BYTES,
+    ChunkIndex,
+    DedupEngine,
+    IdentityCodec,
+    build_engine,
+    content_digest,
+    is_zero_content,
+    make_codec,
+)
+from repro.util import LiteralBytes, SyntheticBytes, ZeroBytes
+from repro.util.bytesource import concat
+from repro.util.config import DedupSpec
+from repro.util.errors import ConfigurationError, StorageError
+
+
+def make_client(num_providers=4, replication=1, chunk_size=1024, dedup=None):
+    manager = ProviderManager(replication=replication)
+    for i in range(num_providers):
+        manager.register(DataProvider(f"p{i}"))
+    return BlobClient(providers=manager, default_chunk_size=chunk_size, dedup=dedup)
+
+
+class TestContentDigest:
+    def test_equal_content_equal_digest_across_representations(self):
+        synthetic = SyntheticBytes("seed", 4096)
+        literal = LiteralBytes(synthetic.read())
+        assert content_digest(synthetic) == content_digest(literal)
+
+    def test_zero_bytes_match_literal_zeros(self):
+        assert content_digest(ZeroBytes(512)) == content_digest(LiteralBytes(b"\x00" * 512))
+
+    def test_concat_matches_flat_content(self):
+        a, b = LiteralBytes(b"abc"), LiteralBytes(b"defg")
+        assert content_digest(concat([a, b])) == content_digest(LiteralBytes(b"abcdefg"))
+
+    def test_different_content_different_digest(self):
+        assert content_digest(LiteralBytes(b"aaaa")) != content_digest(LiteralBytes(b"aaab"))
+
+    def test_size_embedded_in_digest(self):
+        assert content_digest(ZeroBytes(100)) != content_digest(ZeroBytes(101))
+
+    def test_is_zero_content(self):
+        digest = content_digest(LiteralBytes(b"\x00" * 64))
+        assert is_zero_content(digest, 64)
+        assert not is_zero_content(content_digest(LiteralBytes(b"x" * 64)), 64)
+
+
+class TestCodecs:
+    def test_identity_codec_is_free(self):
+        codec = IdentityCodec()
+        assert codec.stored_size(1000) == 1000
+        assert codec.compress_seconds(1000) == 0.0
+        assert codec.decompress_seconds(1000) == 0.0
+
+    def test_simulated_codec_ratio_and_cpu(self):
+        codec = make_codec("zlib", ratio=2.0, compress_bandwidth=100.0,
+                           decompress_bandwidth=400.0)
+        assert codec.stored_size(1000) == HEADER_BYTES + 500
+        assert codec.compress_seconds(1000) == pytest.approx(10.0)
+        assert codec.decompress_seconds(1000) == pytest.approx(2.5)
+
+    def test_zero_chunks_collapse_to_header(self):
+        codec = make_codec("lz4")
+        assert codec.stored_size(256 * 1024, is_zero=True) == HEADER_BYTES
+        assert codec.stored_size(0) == 0
+
+    def test_stored_size_never_exceeds_logical(self):
+        codec = make_codec("zlib", ratio=1.0)
+        assert codec.stored_size(10) == 10
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_codec("zstd")
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_codec("zlib", ratio=0.5)
+
+
+class TestChunkIndex:
+    def test_add_lookup_refcount_lifecycle(self):
+        index = ChunkIndex()
+        key = ChunkKey(1, 1)
+        entry = index.add("digest", key, 100, 40, ("p0",))
+        assert index.lookup("digest") is entry
+        assert index.refcount(key) == 1
+        index.acquire("digest")
+        assert index.refcount(key) == 2
+        # First release keeps the chunk alive.
+        survivor = index.release(key)
+        assert survivor is entry and survivor.refcount == 1
+        assert index.lookup("digest") is entry
+        # Last release removes it from the index.
+        dead = index.release(key)
+        assert dead.refcount == 0
+        assert index.lookup("digest") is None
+        assert index.refcount(key) == 0
+
+    def test_release_unknown_key_returns_none(self):
+        assert ChunkIndex().release(ChunkKey(9, 9)) is None
+
+    def test_duplicate_registration_rejected(self):
+        index = ChunkIndex()
+        index.add("d", ChunkKey(1, 1), 10, 10, ())
+        with pytest.raises(StorageError):
+            index.add("d", ChunkKey(1, 2), 10, 10, ())
+
+    def test_byte_accounting(self):
+        index = ChunkIndex()
+        index.add("d1", ChunkKey(1, 1), 100, 40, ())
+        index.add("d2", ChunkKey(1, 2), 100, 100, ())
+        assert index.stored_bytes == 140
+        assert index.logical_bytes == 200
+
+
+class TestBuildEngine:
+    def test_disabled_spec_builds_nothing(self):
+        assert build_engine(DedupSpec(enabled=False)) is None
+        assert build_engine(None) is None
+
+    def test_enabled_spec_builds_engine_with_codec(self):
+        engine = build_engine(DedupSpec(enabled=True, codec="lz4", compression_ratio=3.0))
+        assert engine is not None
+        assert engine.codec.name == "lz4"
+        assert engine.codec.ratio == 3.0
+
+
+class TestDedupWritePath:
+    def test_duplicate_content_is_not_stored_twice(self):
+        client = make_client(dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("dup", 4096)
+        first = client.write(blob, 0, payload)
+        second = client.write(blob, 4096, payload)
+        assert first.bytes_written == 4096
+        assert second.bytes_written == 0
+        assert second.dedup_hits == 4
+        assert second.dedup_saved_bytes == 4096
+        assert second.logical_bytes == 4096
+        # Physically only one copy exists.
+        assert client.storage_footprint() == 4096
+
+    def test_dedup_across_blobs(self):
+        client = make_client(dedup=DedupEngine())
+        payload = SyntheticBytes("shared", 2048)
+        blob_a = client.create_blob(1024, initial_data=payload)
+        blob_b = client.create_blob(1024, initial_data=payload)
+        assert client.storage_footprint() == 2048
+        assert client.read(blob_b).read() == payload.read()
+        assert blob_a != blob_b
+
+    def test_alias_resolves_through_fetch_any(self):
+        client = make_client(dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("alias", 1024)
+        client.write(blob, 0, payload)
+        second = client.write(blob, 1024, payload)
+        # The aliased stripe's descriptor carries its own logical key ...
+        desc = client.metadata.lookup(blob, second.version, 1)
+        assert client.metadata.is_chunk_alias(desc.key)
+        canonical = client.metadata.resolve_chunk(desc.key)
+        assert canonical != desc.key
+        # ... and fetch_any serves it from the canonical chunk transparently.
+        chunk = client.providers.fetch_any(desc.key, preferred=desc.providers)
+        assert chunk.key == canonical
+        assert chunk.data.read() == payload.read()
+
+    def test_read_roundtrip_with_interleaved_duplicates(self):
+        client = make_client(dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        a = SyntheticBytes("a", 1024)
+        b = SyntheticBytes("b", 1024)
+        pieces = [(0, a), (1024, b), (2048, a), (3072, b), (4096, a)]
+        client.write_batch(blob, pieces)
+        assert client.storage_footprint() == 2048  # one copy of a, one of b
+        for offset, expected in pieces:
+            assert client.read(blob, offset, 1024).read() == expected.read()
+
+    def test_old_versions_readable_after_dedup(self):
+        client = make_client(dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        x = SyntheticBytes("x", 1024)
+        y = SyntheticBytes("y", 1024)
+        v1 = client.write(blob, 0, x).version
+        v2 = client.write(blob, 0, y).version
+        v3 = client.write(blob, 0, x).version  # deduped against v1's chunk
+        assert client.read(blob, 0, 1024, version=v1).read() == x.read()
+        assert client.read(blob, 0, 1024, version=v2).read() == y.read()
+        assert client.read(blob, 0, 1024, version=v3).read() == x.read()
+        assert client.storage_footprint() == 2048
+
+    def test_replicated_canonical_serves_aliases(self):
+        client = make_client(num_providers=3, replication=2, dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("rep", 1024)
+        first = client.write(blob, 0, payload)
+        second = client.write(blob, 1024, payload)
+        assert client.storage_footprint() == 2048  # two replicas, one content
+        (_key, _size, providers) = first.chunks[0]
+        desc = client.metadata.lookup(blob, second.version, 1)
+        assert desc.providers == providers
+        # Losing one replica keeps the aliased stripe readable.
+        client.providers.get(providers[0]).fail()
+        assert client.read(blob, 1024, 1024).read() == payload.read()
+
+
+class TestProviderFailureInvalidation:
+    def test_lost_canonical_chunk_is_restored_not_aliased(self):
+        client = make_client(num_providers=2, dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("lost", 1024)
+        first = client.write(blob, 0, payload)
+        (_key, _size, providers) = first.chunks[0]
+        # Fail-stop loss of the only replica of the canonical chunk.
+        client.providers.get(providers[0]).fail()
+        second = client.write(blob, 1024, payload)
+        # The stale index entry is invalidated: the content is stored afresh
+        # instead of being aliased to the lost chunk.
+        assert second.dedup_hits == 0
+        assert second.bytes_written == 1024
+        assert client.dedup.invalidated_chunks == 1
+        assert client.read(blob, 1024, 1024).read() == payload.read()
+
+    def test_surviving_replica_keeps_dedup_hit_valid(self):
+        client = make_client(num_providers=3, replication=2, dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("rep-live", 1024)
+        first = client.write(blob, 0, payload)
+        (_key, _size, providers) = first.chunks[0]
+        client.providers.get(providers[0]).fail()
+        second = client.write(blob, 1024, payload)
+        # One replica survives, so the dedup hit is still valid.
+        assert second.dedup_hits == 1
+        assert second.bytes_written == 0
+        assert client.read(blob, 1024, 1024).read() == payload.read()
+
+
+class TestCompressionAccounting:
+    def test_compressed_footprint_on_providers(self):
+        engine = DedupEngine(make_codec("zlib", ratio=2.0))
+        client = make_client(dedup=engine)
+        blob = client.create_blob(1024)
+        result = client.write(blob, 0, SyntheticBytes("c", 2048))
+        expected = 2 * (HEADER_BYTES + 512)
+        assert result.bytes_written == expected
+        assert client.storage_footprint() == expected
+        assert result.logical_bytes == 2048
+        # Content still round-trips byte-exactly.
+        assert client.read(blob, 0, 2048).read() == SyntheticBytes("c", 2048).read()
+
+    def test_cpu_seconds_surface_in_write_result(self):
+        engine = DedupEngine(make_codec("zlib", ratio=2.0, compress_bandwidth=1024.0),
+                             fingerprint_bandwidth=2048.0)
+        client = make_client(dedup=engine)
+        blob = client.create_blob(1024)
+        result = client.write(blob, 0, SyntheticBytes("cpu", 1024))
+        # 1024 B at 2 KiB/s fingerprinting + 1024 B at 1 KiB/s compression.
+        assert result.compression_cpu_seconds == pytest.approx(0.5 + 1.0)
+
+    def test_physical_vs_logical_incremental_footprint(self):
+        client = make_client(dedup=DedupEngine(make_codec("zlib", ratio=2.0)))
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("inc", 1024)
+        v1 = client.write(blob, 0, payload).version
+        v2 = client.write(blob, 1024, payload).version
+        assert client.incremental_footprint(blob, v1) == 1024
+        assert client.incremental_footprint(blob, v1, physical=True) == HEADER_BYTES + 512
+        assert client.incremental_footprint(blob, v2) == 1024
+        assert client.incremental_footprint(blob, v2, physical=True) == 0
+
+    def test_physical_version_footprint_counts_canonical_once(self):
+        client = make_client(dedup=DedupEngine(make_codec("zlib", ratio=2.0)))
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("full", 1024)
+        client.write(blob, 0, payload)
+        result = client.write(blob, 1024, payload)
+        logical = client.version_footprint(blob, result.version)
+        physical = client.version_footprint(blob, result.version, physical=True)
+        assert logical == 2048
+        assert physical == HEADER_BYTES + 512
+
+    def test_zero_stripes_dedup_and_compress(self):
+        client = make_client(dedup=DedupEngine(make_codec("lz4")))
+        blob = client.create_blob(1024)
+        result = client.write(blob, 0, LiteralBytes(b"\x00" * 4096))
+        # First zero stripe stores a header; the rest dedup against it.
+        assert result.bytes_written == HEADER_BYTES
+        assert result.dedup_hits == 3
+
+
+class TestBatchRollback:
+    def test_failed_batch_rolls_back_aliases_refcounts_and_chunks(self):
+        manager = ProviderManager()
+        manager.register(DataProvider("p0", capacity=2048))
+        client = BlobClient(providers=manager, default_chunk_size=1024,
+                            dedup=DedupEngine())
+        blob = client.create_blob(1024)
+        shared = SyntheticBytes("rb-shared", 1024)
+        canonical_key = client.write(blob, 0, shared).chunks[0][0]
+        # Batch: a dedup hit, one chunk that fits, one that cannot (disk full).
+        with pytest.raises(StorageError):
+            client.write_batch(blob, [
+                (1024, shared),
+                (2048, SyntheticBytes("rb-b", 1024)),
+                (3072, SyntheticBytes("rb-c", 1024)),
+            ])
+        # The alias and its refcount were rolled back ...
+        assert client.metadata.chunk_alias_count == 0
+        assert client.dedup.index.refcount(canonical_key) == 1
+        # ... and the chunk stored before the failure was deleted again.
+        assert client.storage_footprint() == 1024
+        assert len(client.dedup.index) == 1
+        # The blob is unscathed: the same write works once there is room.
+        retry = client.write(blob, 1024, shared)
+        assert retry.dedup_hits == 1
+        assert client.read(blob, 1024, 1024).read() == shared.read()
+
+    def test_placement_accounts_for_compressed_footprint(self):
+        # 1024 logical bytes compress to 528; a 600-byte provider must accept.
+        manager = ProviderManager()
+        manager.register(DataProvider("p0", capacity=600))
+        client = BlobClient(providers=manager, default_chunk_size=1024,
+                            dedup=DedupEngine(make_codec("zlib", ratio=2.0)))
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("fit", 1024)
+        result = client.write(blob, 0, payload)
+        assert result.bytes_written == HEADER_BYTES + 512
+        assert client.read(blob, 0, 1024).read() == payload.read()
+
+
+class TestDedupDisabled:
+    def test_no_engine_means_seed_semantics(self):
+        client = make_client()
+        blob = client.create_blob(1024)
+        payload = SyntheticBytes("off", 2048)
+        first = client.write(blob, 0, payload)
+        second = client.write(blob, 2048, payload)
+        assert first.bytes_written == second.bytes_written == 2048
+        assert second.dedup_hits == 0
+        assert client.storage_footprint() == 4096
+        assert client.metadata.chunk_alias_count == 0
