@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI benchmark gate: compare a perf artifact against the committed baseline.
+
+Thin command-line shim over :mod:`repro.runner.regression`.  Typical CI use::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baseline.json \
+        --artifact bench-parallel.json \
+        --sequential bench-sequential.json \
+        --max-regression 0.20
+
+Exits non-zero when any shared experiment's wall time regressed by more than
+the threshold (after normalising for machine speed via the embedded
+calibration), or when the two artifacts' rows differ (the simulated results
+must never depend on the worker count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runner.artifact import ArtifactError, load_artifact
+from repro.runner.regression import (
+    DEFAULT_MAX_REGRESSION,
+    DEFAULT_SLACK_SECONDS,
+    check_determinism,
+    check_regression,
+    check_speedup,
+    speedup_summary,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline artifact (omit to skip the regression gate "
+        "and only check determinism/speedup)",
+    )
+    parser.add_argument("--artifact", required=True, help="freshly recorded artifact to gate")
+    parser.add_argument(
+        "--sequential",
+        default=None,
+        help="optional single-worker artifact: checked row-identical to --artifact "
+        "and used for the speedup summary",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="relative wall-time regression threshold (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--slack-seconds",
+        type=float,
+        default=DEFAULT_SLACK_SECONDS,
+        help="absolute slack added on top of the threshold (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="require the --artifact run to beat the --sequential run by this "
+        "factor (use on multi-core CI only; default: report, don't gate)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_artifact(args.baseline) if args.baseline else None
+        artifact = load_artifact(args.artifact)
+        sequential = load_artifact(args.sequential) if args.sequential else None
+    except ArtifactError as exc:
+        print(f"FAIL  {exc}", file=sys.stderr)
+        return 1
+
+    failed = False
+    if baseline is not None:
+        gate = check_regression(
+            baseline,
+            artifact,
+            max_regression=args.max_regression,
+            slack_seconds=args.slack_seconds,
+        )
+        print("== wall-time regression vs baseline ==")
+        print("\n".join(gate.lines))
+        failed |= not gate.ok
+
+    if sequential is not None:
+        determinism = check_determinism(sequential, artifact)
+        print("== determinism (sequential vs parallel rows) ==")
+        print("\n".join(determinism.lines))
+        failed |= not determinism.ok
+        print("== speedup ==")
+        if args.min_speedup is not None:
+            gate = check_speedup(sequential, artifact, args.min_speedup)
+            print("\n".join(gate.lines))
+            failed |= not gate.ok
+        else:
+            print("\n".join(speedup_summary(sequential, artifact)))
+
+    print("RESULT:", "FAIL" if failed else "OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,17 @@ set ``REPRO_PAPER_SCALE=1`` to run the original axes (up to 120 VM instances
 and 400 CM1 processes), which takes considerably longer.
 
 The regenerated rows are attached to the benchmark's ``extra_info`` so that
-``pytest-benchmark``'s JSON output doubles as the experiment record.
+``pytest-benchmark``'s JSON output doubles as the experiment record; the
+``artifact_schema`` key ties it to the schema the runner's ``--artifact``
+documents use (see ``repro.runner.artifact`` and ``check_regression.py``,
+which gates CI on those documents).
 """
 
 import os
 
 import pytest
+
+from repro.runner.artifact import SCHEMA, SCHEMA_VERSION, environment_info
 
 PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
 
@@ -25,3 +30,5 @@ def attach_rows(benchmark, result) -> None:
     """Record an ExperimentResult's rows in the benchmark metadata."""
     benchmark.extra_info["experiment"] = result.experiment
     benchmark.extra_info["rows"] = result.rows
+    benchmark.extra_info["artifact_schema"] = f"{SCHEMA}/v{SCHEMA_VERSION}"
+    benchmark.extra_info["environment"] = environment_info()

@@ -4,7 +4,6 @@ from conftest import attach_rows
 
 from repro.experiments import run_fig2
 from repro.experiments.harness import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
-from repro.util.units import MB
 
 
 def test_fig2_checkpoint_time(benchmark, paper_scale):

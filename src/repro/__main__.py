@@ -1,4 +1,5 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI (same entry point as the
+``blobcr-repro`` console script installed by the package)."""
 
 from repro.cli import main
 

@@ -27,9 +27,8 @@ from typing import Dict, Generator, List, Optional
 import numpy as np
 
 from repro.core.protocol import CoordinatedCheckpoint
-from repro.core.strategy import DeployedInstance, Deployment, GlobalCheckpoint
+from repro.core.strategy import DeployedInstance, Deployment
 from repro.mpi.runtime import MPICommunicator, MPIRank
-from repro.util.bytesource import LiteralBytes
 from repro.util.errors import CheckpointError
 from repro.util.rng import make_rng
 
@@ -222,7 +221,7 @@ class CM1Application:
         if self.comm is None:
             raise CheckpointError("init_domain() must run before checkpointing")
         started = self.cloud.now
-        quiesced = yield from self.comm.quiesce()
+        yield from self.comm.quiesce()
         protocol = CoordinatedCheckpoint(self.deployment)
         checkpoint = yield from protocol.global_checkpoint(tag="cm1-blcr")
         self.comm.resume_comm()

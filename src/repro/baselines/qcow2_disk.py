@@ -15,7 +15,6 @@ from typing import Generator
 
 from repro.baselines.common import QcowPVFSDeployment
 from repro.core.strategy import CheckpointRecord, DeployedInstance
-from repro.guest.filesystem import GuestFileSystem
 from repro.util.errors import RestartError
 from repro.vdisk.qcow2 import QcowImage
 

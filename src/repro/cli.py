@@ -1,11 +1,18 @@
 """Command-line entry point: ``python -m repro`` / ``blobcr-repro``.
 
-Runs any subset of the paper's experiments at a chosen scale and prints the
-resulting tables.  ``--paper-scale`` uses the original axis (up to 120 VMs /
-400 CM1 processes), which takes several minutes; the default reduced scale
-reproduces the same qualitative shapes in well under a minute.  ``--json``
-additionally dumps every regenerated table as machine-readable JSON for the
-benchmark trajectory.
+Runs any subset of the paper's experiments at a chosen scale through the
+registry-driven parallel runner and prints the resulting tables.
+
+* ``--paper-scale`` uses the original axes (up to 120 VMs / 400 CM1
+  processes); the default reduced scale reproduces the same qualitative
+  shapes in well under a minute.
+* ``--workers N`` fans the independent (approach x scale-point) cells out
+  over N worker processes; results are bit-identical to ``--workers 1``.
+* ``--cells fig2:BlobCR-app:24`` restricts the run to matching cells
+  (``--list-cells`` shows the addressable keys).
+* ``--json`` dumps every regenerated table as machine-readable JSON;
+  ``--artifact`` writes the schema-versioned perf artifact (per-cell wall and
+  simulated times, environment, calibration) the CI benchmark gate consumes.
 """
 
 from __future__ import annotations
@@ -13,62 +20,148 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List
+from typing import List, Optional
 
-from repro.experiments import (
-    run_fig2,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig7,
-    run_table1,
+from repro.runner import (
+    ParallelRunner,
+    RunConfig,
+    build_artifact,
+    load_all,
+    parse_selectors,
+    write_artifact,
 )
-from repro.experiments.fig6_cm1 import BENCH_CM1_PROCESSES, PAPER_CM1_PROCESSES
-from repro.experiments.harness import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
-
-_ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1")
+from repro.runner.cells import CellResult
+from repro.util.errors import ConfigurationError
 
 
-def main(argv: List[str] | None = None) -> int:
+def _build_parser(names: List[str]) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="blobcr-repro",
         description="Reproduce the evaluation of BlobCR (SC'11).",
     )
-    parser.add_argument("experiments", nargs="*", default=list(_ALL),
-                        help=f"which experiments to run (default: all of {', '.join(_ALL)})")
-    parser.add_argument("--paper-scale", action="store_true",
-                        help="use the paper's full scale (slower)")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="also write the results as JSON to PATH ('-' for stdout)")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"which experiments to run (default: all of {', '.join(names)})",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full scale (slower)",
+    )
+    parser.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiment cells over N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cells",
+        action="append",
+        default=[],
+        metavar="SELECTOR",
+        help="run only cells matching the selector prefix, e.g. "
+        "fig2:BlobCR-app:24 (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--list-cells",
+        action="store_true",
+        help="list the addressable cell keys of the selected experiments and exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--artifact",
+        metavar="PATH",
+        default=None,
+        help="write the structured perf artifact (JSON) to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-cell progress lines on stderr",
+    )
+    return parser
+
+
+def _progress(done: int, total: int, result: CellResult) -> None:
+    print(
+        f"[{done}/{total}] {result.key}  "
+        f"wall={result.wall_time_s:.2f}s sim={result.sim_time_s:.2f}s",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    names = load_all()
+    parser = _build_parser(names)
     args = parser.parse_args(argv)
 
-    unknown = [e for e in args.experiments if e not in _ALL]
+    unknown = [e for e in args.experiments if e not in names]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
-    scale = PAPER_SCALE_POINTS if args.paper_scale else BENCH_SCALE_POINTS
-    cm1_scale = PAPER_CM1_PROCESSES if args.paper_scale else BENCH_CM1_PROCESSES
+    try:
+        selectors = parse_selectors(args.cells)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    foreign = sorted({s.experiment for s in selectors if s.experiment not in names})
+    if foreign:
+        parser.error(f"unknown experiment(s) in --cells: {', '.join(foreign)}")
 
-    runners = {
-        "fig2": lambda: run_fig2(scale_points=scale),
-        "fig3": lambda: run_fig3(scale_points=scale),
-        "fig4": lambda: run_fig4(),
-        "fig5": lambda: run_fig5(),
-        "fig6": lambda: run_fig6(process_counts=cm1_scale),
-        "fig7": lambda: run_fig7(),
-        "table1": lambda: run_table1(processes=cm1_scale[0]),
-    }
+    experiments = list(args.experiments)
+    if not experiments:
+        if selectors:
+            wanted = {s.experiment for s in selectors}
+            experiments = [n for n in names if n in wanted]
+        else:
+            experiments = list(names)
+    outside = [s.text for s in selectors if s.experiment not in experiments]
+    if outside:
+        parser.error(
+            f"--cells selector(s) outside the requested experiments: {', '.join(outside)}"
+        )
+
+    config = RunConfig(paper_scale=args.paper_scale)
+    runner = ParallelRunner(
+        workers=args.workers,
+        progress=None if args.no_progress else _progress,
+    )
+
+    if args.list_cells:
+        try:
+            cells = runner.enumerate(experiments, config, selectors)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        for cell in cells:
+            print(cell.key)
+        return 0
+
+    try:
+        report = runner.run(experiments, config, selectors)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
     collected = {}
-    for name in args.experiments:
-        result = runners[name]()
+    for result in report.results:
         print(result.to_table())
         print()
-        collected[name] = {
+        collected[result.experiment] = {
             "experiment": result.experiment,
             "description": result.description,
             "rows": result.rows,
         }
+
     if args.json is not None:
         payload = json.dumps(collected, indent=2, default=str)
         if args.json == "-":
@@ -79,6 +172,16 @@ def main(argv: List[str] | None = None) -> int:
                     handle.write(payload + "\n")
             except OSError as exc:
                 parser.error(f"cannot write JSON output to {args.json}: {exc}")
+
+    if args.artifact is not None:
+        document = build_artifact(
+            report,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
+        try:
+            write_artifact(args.artifact, document)
+        except OSError as exc:
+            parser.error(f"cannot write artifact to {args.artifact}: {exc}")
     return 0
 
 

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from repro.cluster.network import Network
 from repro.cluster.node import ComputeNode
+from repro.guest.process import reset_pids
 from repro.sim.core import Environment, Event
 from repro.util.config import ClusterSpec, GRAPHENE
 from repro.util.errors import SimulationError
@@ -25,6 +26,10 @@ class Cloud:
     def __init__(self, spec: Optional[ClusterSpec] = None):
         self.spec = spec or GRAPHENE
         self.spec.validate()
+        # One simulated cloud = one guest pid namespace.  Pids leak into
+        # checkpoint content, so a host-global counter would make results
+        # depend on what else ran in the same interpreter (see reset_pids).
+        reset_pids()
         self.env = Environment()
         self.network = Network(self.env, self.spec.network)
         self.compute_nodes: List[ComputeNode] = [

@@ -10,11 +10,10 @@ most recent globally consistent checkpoint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.cluster.cloud import Cloud
-from repro.cluster.node import ComputeNode
 from repro.util.errors import SimulationError
 from repro.util.rng import make_rng
 

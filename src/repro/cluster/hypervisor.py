@@ -19,7 +19,7 @@ from typing import Callable, Generator, Optional
 
 from repro.cluster.node import ComputeNode
 from repro.guest.filesystem import GuestFileSystem
-from repro.guest.vm import VMInstance, VMState
+from repro.guest.vm import VMInstance
 from repro.sim.core import Environment, Event
 from repro.util.config import VMSpec
 from repro.util.errors import GuestError

@@ -9,7 +9,7 @@ and per-message software overhead but negligible bandwidth.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.sim.bandwidth import BandwidthSystem, FairShareChannel
 from repro.sim.core import Environment, Event

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.sim.bandwidth import FairShareChannel
 from repro.sim.core import Environment, Event

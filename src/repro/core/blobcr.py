@@ -19,7 +19,7 @@ the checkpointing proxies and the hypervisors into the workflow of Figure 1:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Set
+from typing import Dict, Generator, Optional, Set
 
 from repro.cluster.cloud import Cloud
 from repro.cluster.hypervisor import DEFAULT_BOOT_READ_BYTES, Hypervisor

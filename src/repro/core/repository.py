@@ -13,16 +13,14 @@ functional layer actually produced.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.blobseer import BlobClient, DataProvider, ProviderManager
-from repro.blobseer.client import WriteResult
 from repro.cluster.cloud import Cloud
 from repro.dedup.codec import HEADER_BYTES
 from repro.dedup.engine import build_engine
 from repro.util.bytesource import ByteSource
 from repro.util.config import BlobSeerSpec
-from repro.util.errors import StorageError
 from repro.vdisk.raw import RawImage
 
 

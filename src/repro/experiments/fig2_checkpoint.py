@@ -3,20 +3,84 @@
 One process per VM instance, data buffers of 50 MB (Fig. 2a) and 200 MB
 (Fig. 2b), five approaches.  The reported quantity is the time from the
 moment the global checkpoint is requested until every snapshot is persisted.
+
+Each (approach, scale-point, buffer-size) triple is one independent runner
+cell (``fig2:<approach>:<processes>:<buffer>MB``); :func:`run_fig2` remains
+as a thin sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.harness import (
     APPROACHES,
     BENCH_SCALE_POINTS,
     PAPER_BUFFER_SIZES,
+    PAPER_SCALE_POINTS,
     ExperimentResult,
-    run_synthetic_scenario,
+    merge_approach_cells,
+    run_synthetic_cell,
 )
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.config import ClusterSpec
+
+_DESCRIPTION = "checkpoint completion time vs number of processes (s)"
+
+
+def fig2_cells(
+    scale_points: Sequence[int] = BENCH_SCALE_POINTS,
+    buffer_sizes: Sequence[int] = PAPER_BUFFER_SIZES,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Figure 2 in canonical order."""
+    cells: List[Cell] = []
+    for buffer_bytes in buffer_sizes:
+        for instances in scale_points:
+            for approach in approaches:
+                cells.append(
+                    Cell(
+                        experiment="fig2",
+                        parts=(approach, str(instances), f"{buffer_bytes // 10**6}MB"),
+                        func=run_synthetic_cell,
+                        params={
+                            "approach": approach,
+                            "instances": instances,
+                            "buffer_bytes": buffer_bytes,
+                            "spec": spec,
+                            "include_restart": False,
+                        },
+                    )
+                )
+    return cells
+
+
+def merge_fig2(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed fig2 cells back into the paper's row layout."""
+    return merge_approach_cells(
+        "fig2",
+        _DESCRIPTION,
+        results,
+        row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6, "processes": p["instances"]},
+        value=lambda p: p["checkpoint_time"],
+    )
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    scale = PAPER_SCALE_POINTS if config.paper_scale else BENCH_SCALE_POINTS
+    return fig2_cells(scale_points=scale, spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig2",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_fig2,
+    )
+)
 
 
 def run_fig2(
@@ -25,18 +89,7 @@ def run_fig2(
     approaches: Sequence[str] = APPROACHES,
     spec: Optional[ClusterSpec] = None,
 ) -> ExperimentResult:
-    """Regenerate the series of Figure 2 (a and b)."""
-    result = ExperimentResult(
-        experiment="fig2",
-        description="checkpoint completion time vs number of processes (s)",
+    """Regenerate the series of Figure 2 (a and b), sequentially."""
+    return merge_fig2(
+        run_cells_inline(fig2_cells(scale_points, buffer_sizes, approaches, spec))
     )
-    for buffer_bytes in buffer_sizes:
-        for instances in scale_points:
-            row = {"buffer_MB": buffer_bytes // 10**6, "processes": instances}
-            for approach in approaches:
-                outcome = run_synthetic_scenario(
-                    approach, instances, buffer_bytes, spec=spec, include_restart=False
-                )
-                row[approach] = outcome.checkpoint_time
-            result.rows.append(row)
-    return result

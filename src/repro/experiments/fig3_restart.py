@@ -5,20 +5,84 @@ snapshots of the previous global checkpoint as their virtual disks; except
 for ``qcow2-full`` the guest OS reboots and the processes restore their state
 from the saved files.  The reported time spans re-deployment through the last
 successful state restoration.
+
+Each (approach, scale-point, buffer-size) triple is one independent runner
+cell (``fig3:<approach>:<hosts>:<buffer>MB``); :func:`run_fig3` remains as a
+thin sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.harness import (
     APPROACHES,
     BENCH_SCALE_POINTS,
     PAPER_BUFFER_SIZES,
+    PAPER_SCALE_POINTS,
     ExperimentResult,
-    run_synthetic_scenario,
+    merge_approach_cells,
+    run_synthetic_cell,
 )
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.config import ClusterSpec
+
+_DESCRIPTION = "restart completion time vs number of hosts (s)"
+
+
+def fig3_cells(
+    scale_points: Sequence[int] = BENCH_SCALE_POINTS,
+    buffer_sizes: Sequence[int] = PAPER_BUFFER_SIZES,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Figure 3 in canonical order."""
+    cells: List[Cell] = []
+    for buffer_bytes in buffer_sizes:
+        for instances in scale_points:
+            for approach in approaches:
+                cells.append(
+                    Cell(
+                        experiment="fig3",
+                        parts=(approach, str(instances), f"{buffer_bytes // 10**6}MB"),
+                        func=run_synthetic_cell,
+                        params={
+                            "approach": approach,
+                            "instances": instances,
+                            "buffer_bytes": buffer_bytes,
+                            "spec": spec,
+                            "include_restart": True,
+                        },
+                    )
+                )
+    return cells
+
+
+def merge_fig3(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed fig3 cells back into the paper's row layout."""
+    return merge_approach_cells(
+        "fig3",
+        _DESCRIPTION,
+        results,
+        row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6, "hosts": p["instances"]},
+        value=lambda p: p["restart_time"],
+    )
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    scale = PAPER_SCALE_POINTS if config.paper_scale else BENCH_SCALE_POINTS
+    return fig3_cells(scale_points=scale, spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig3",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_fig3,
+    )
+)
 
 
 def run_fig3(
@@ -27,18 +91,7 @@ def run_fig3(
     approaches: Sequence[str] = APPROACHES,
     spec: Optional[ClusterSpec] = None,
 ) -> ExperimentResult:
-    """Regenerate the series of Figure 3 (a and b)."""
-    result = ExperimentResult(
-        experiment="fig3",
-        description="restart completion time vs number of hosts (s)",
+    """Regenerate the series of Figure 3 (a and b), sequentially."""
+    return merge_fig3(
+        run_cells_inline(fig3_cells(scale_points, buffer_sizes, approaches, spec))
     )
-    for buffer_bytes in buffer_sizes:
-        for instances in scale_points:
-            row = {"buffer_MB": buffer_bytes // 10**6, "hosts": instances}
-            for approach in approaches:
-                outcome = run_synthetic_scenario(
-                    approach, instances, buffer_bytes, spec=spec, include_restart=True
-                )
-                row[approach] = outcome.restart_time
-            result.rows.append(row)
-    return result

@@ -5,19 +5,80 @@ plus the minor file-system updates of the guest OS (boot-time configuration,
 logs); the process-level snapshot adds BLCR's small context overhead; the
 full VM snapshot additionally carries the whole RAM / device state.  Sizes
 are measured from the storage layer, not assumed.
+
+Each (approach, buffer-size) pair is one independent runner cell
+(``fig4:<approach>:<buffer>MB``); :func:`run_fig4` remains as a thin
+sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.harness import (
     APPROACHES,
     PAPER_BUFFER_SIZES,
     ExperimentResult,
-    run_synthetic_scenario,
+    merge_approach_cells,
+    run_synthetic_cell,
 )
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.config import ClusterSpec
+
+_DESCRIPTION = "checkpoint space utilisation per VM instance (MB)"
+
+
+def fig4_cells(
+    buffer_sizes: Sequence[int] = PAPER_BUFFER_SIZES,
+    approaches: Sequence[str] = APPROACHES,
+    instances: int = 2,
+    spec: Optional[ClusterSpec] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Figure 4 in canonical order."""
+    cells: List[Cell] = []
+    for buffer_bytes in buffer_sizes:
+        for approach in approaches:
+            cells.append(
+                Cell(
+                    experiment="fig4",
+                    parts=(approach, f"{buffer_bytes // 10**6}MB"),
+                    func=run_synthetic_cell,
+                    params={
+                        "approach": approach,
+                        "instances": instances,
+                        "buffer_bytes": buffer_bytes,
+                        "spec": spec,
+                        "include_restart": False,
+                    },
+                )
+            )
+    return cells
+
+
+def merge_fig4(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed fig4 cells back into the paper's row layout."""
+    return merge_approach_cells(
+        "fig4",
+        _DESCRIPTION,
+        results,
+        row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6},
+        value=lambda p: round(p["snapshot_bytes_per_instance"] / 10**6, 1),
+    )
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    return fig4_cells(spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig4",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_fig4,
+    )
+)
 
 
 def run_fig4(
@@ -27,16 +88,6 @@ def run_fig4(
     spec: Optional[ClusterSpec] = None,
 ) -> ExperimentResult:
     """Regenerate the bars of Figure 4 (snapshot size per VM instance, MB)."""
-    result = ExperimentResult(
-        experiment="fig4",
-        description="checkpoint space utilisation per VM instance (MB)",
+    return merge_fig4(
+        run_cells_inline(fig4_cells(buffer_sizes, approaches, instances, spec))
     )
-    for buffer_bytes in buffer_sizes:
-        row = {"buffer_MB": buffer_bytes // 10**6}
-        for approach in approaches:
-            outcome = run_synthetic_scenario(
-                approach, instances, buffer_bytes, spec=spec, include_restart=False
-            )
-            row[approach] = round(outcome.snapshot_bytes_per_instance / 10**6, 1)
-        result.rows.append(row)
-    return result

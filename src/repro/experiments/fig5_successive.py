@@ -9,19 +9,87 @@ shipped) and grows linearly in storage; ``qcow2-disk`` grows linearly in time
 (the copied file keeps growing) and super-linearly in storage (each copy
 duplicates all earlier data); ``qcow2-full`` grows linearly in both (a single
 ever-growing file is kept).
+
+Each approach's whole checkpoint sequence is one runner cell
+(``fig5:<approach>``) -- successive checkpoints of one VM are inherently
+sequential, but the approaches are independent of each other.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.harness import (
     APPROACHES,
     ExperimentResult,
-    run_synthetic_scenario,
+    run_synthetic_cell,
 )
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.config import ClusterSpec
 from repro.util.units import MB
+
+_DESCRIPTION = "successive checkpoints of one VM: completion time (s) and storage (MB)"
+
+
+def fig5_cells(
+    checkpoints: int = 4,
+    buffer_bytes: int = 200 * MB,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Figure 5 (one per approach)."""
+    cells: List[Cell] = []
+    for approach in approaches:
+        cells.append(
+            Cell(
+                experiment="fig5",
+                parts=(approach,),
+                func=run_synthetic_cell,
+                params={
+                    "approach": approach,
+                    "instances": 1,
+                    "buffer_bytes": buffer_bytes,
+                    "spec": spec,
+                    "include_restart": False,
+                    "checkpoints": checkpoints,
+                },
+            )
+        )
+    return cells
+
+
+def merge_fig5(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed fig5 cells back into the per-checkpoint row layout."""
+    result = ExperimentResult(experiment="fig5", description=_DESCRIPTION)
+    if not results:
+        return result
+    checkpoints = max(len(cell.payload["checkpoint_times"]) for cell in results)
+    for index in range(checkpoints):
+        row = {"checkpoint": index + 1}
+        for cell in results:
+            payload = cell.payload
+            approach = payload["approach"]
+            row[f"{approach} time_s"] = payload["checkpoint_times"][index]
+            row[f"{approach} storage_MB"] = round(
+                payload["storage_trajectory"][index] / 10**6, 1
+            )
+        result.rows.append(row)
+    return result
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    return fig5_cells(spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig5",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_fig5,
+    )
+)
 
 
 def run_fig5(
@@ -30,26 +98,7 @@ def run_fig5(
     approaches: Sequence[str] = APPROACHES,
     spec: Optional[ClusterSpec] = None,
 ) -> ExperimentResult:
-    """Regenerate the series of Figure 5 (a: time, b: storage)."""
-    result = ExperimentResult(
-        experiment="fig5",
-        description="successive checkpoints of one VM: completion time (s) and storage (MB)",
+    """Regenerate the series of Figure 5 (a: time, b: storage), sequentially."""
+    return merge_fig5(
+        run_cells_inline(fig5_cells(checkpoints, buffer_bytes, approaches, spec))
     )
-    series = {}
-    for approach in approaches:
-        outcome = run_synthetic_scenario(
-            approach, instances=1, buffer_bytes=buffer_bytes, spec=spec,
-            include_restart=False, checkpoints=checkpoints,
-        )
-        series[approach] = (
-            outcome.checkpoint_times,  # type: ignore[attr-defined]
-            outcome.storage_trajectory,  # type: ignore[attr-defined]
-        )
-    for index in range(checkpoints):
-        row = {"checkpoint": index + 1}
-        for approach in approaches:
-            times, storage = series[approach]
-            row[f"{approach} time_s"] = times[index]
-            row[f"{approach} storage_MB"] = round(storage[index] / 10**6, 1)
-        result.rows.append(row)
-    return result

@@ -4,20 +4,34 @@ Weak scaling of the CM1 hurricane simulation: each MPI process solves a fixed
 50x50 subdomain, four processes run per quad-core VM instance, and a global
 checkpoint is taken after a period of execution.  The paper omits
 ``qcow2-full`` (its snapshots grow unacceptably large).
+
+Each (approach, process-count) pair is one independent runner cell
+(``fig6:<approach>:<processes>``); :func:`run_fig6` remains as a thin
+sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.cm1 import CM1Application, CM1Config
-from repro.experiments.harness import CM1_APPROACHES, ExperimentResult, make_deployment, split_approach
+from repro.experiments.harness import (
+    CM1_APPROACHES,
+    ExperimentResult,
+    make_deployment,
+    merge_approach_cells,
+    split_approach,
+)
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.config import GRAPHENE, ClusterSpec
 
 #: process counts of the paper's Figure 6 (4 processes per VM)
 PAPER_CM1_PROCESSES = (64, 160, 256, 400)
 #: reduced axis for the default benchmark run
 BENCH_CM1_PROCESSES = (16, 48)
+
+_DESCRIPTION = "CM1 global checkpoint completion time vs number of processes (s)"
 
 
 def run_cm1_scenario(
@@ -62,21 +76,89 @@ def run_cm1_scenario(
     return float(out["duration"]), dict(out["sizes"])  # type: ignore[arg-type]
 
 
+def run_cm1_cell(
+    approach: str,
+    processes: int,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[CM1Config] = None,
+    warmup_iterations: int = 10,
+) -> Dict[str, Any]:
+    """Run one CM1 cell and return a JSON-serialisable payload."""
+    duration, sizes = run_cm1_scenario(
+        approach,
+        processes,
+        spec=spec,
+        config=config,
+        warmup_iterations=warmup_iterations,
+    )
+    return {
+        "approach": approach,
+        "processes": processes,
+        "duration": duration,
+        "sizes": sizes,
+        "sim_time_s": duration,
+    }
+
+
+def fig6_cells(
+    process_counts: Sequence[int] = BENCH_CM1_PROCESSES,
+    approaches: Sequence[str] = CM1_APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[CM1Config] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Figure 6 in canonical order."""
+    cells: List[Cell] = []
+    for processes in process_counts:
+        for approach in approaches:
+            cells.append(
+                Cell(
+                    experiment="fig6",
+                    parts=(approach, str(processes)),
+                    func=run_cm1_cell,
+                    params={
+                        "approach": approach,
+                        "processes": processes,
+                        "spec": spec,
+                        "config": config,
+                    },
+                )
+            )
+    return cells
+
+
+def merge_fig6(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed fig6 cells back into the paper's row layout."""
+    return merge_approach_cells(
+        "fig6",
+        _DESCRIPTION,
+        results,
+        row_key=lambda p: {"processes": p["processes"]},
+        value=lambda p: p["duration"],
+    )
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    counts = PAPER_CM1_PROCESSES if config.paper_scale else BENCH_CM1_PROCESSES
+    return fig6_cells(process_counts=counts, spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig6",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_fig6,
+    )
+)
+
+
 def run_fig6(
     process_counts: Sequence[int] = BENCH_CM1_PROCESSES,
     approaches: Sequence[str] = CM1_APPROACHES,
     spec: Optional[ClusterSpec] = None,
     config: Optional[CM1Config] = None,
 ) -> ExperimentResult:
-    """Regenerate the series of Figure 6 (checkpoint time vs process count)."""
-    result = ExperimentResult(
-        experiment="fig6",
-        description="CM1 global checkpoint completion time vs number of processes (s)",
+    """Regenerate the series of Figure 6, sequentially."""
+    return merge_fig6(
+        run_cells_inline(fig6_cells(process_counts, approaches, spec, config))
     )
-    for processes in process_counts:
-        row = {"processes": processes}
-        for approach in approaches:
-            duration, _sizes = run_cm1_scenario(approach, processes, spec=spec, config=config)
-            row[approach] = duration
-        result.rows.append(row)
-    return result

@@ -25,14 +25,21 @@ content, which is what makes the ablation trustworthy.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cloud import Cloud
 from repro.core.repository import CheckpointRepository
 from repro.experiments.harness import ExperimentResult
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.bytesource import ByteSource, SyntheticBytes
 from repro.util.config import GRAPHENE, ClusterSpec, DedupSpec
 from repro.util.units import MB
+
+_DESCRIPTION = (
+    "successive whole-file checkpoints: commit time (s), physical storage "
+    "(MB) and dedup ratio with the content-addressed layer off/on"
+)
 
 #: repository configurations of the ablation: label -> DedupSpec
 FIG7_MODES: Dict[str, DedupSpec] = {
@@ -125,6 +132,93 @@ def _run_mode(
     return outcome
 
 
+def run_fig7_cell(
+    mode: str,
+    checkpoints: int = 5,
+    state_bytes: int = 16 * MB,
+    changed_fraction: float = 0.25,
+    spec: Optional[ClusterSpec] = None,
+) -> Dict[str, Any]:
+    """Run one fig7 repository configuration and return its trajectories."""
+    base_spec = (spec or GRAPHENE).scaled(compute_nodes=8, service_nodes=4)
+    outcome = _run_mode(FIG7_MODES[mode], checkpoints, state_bytes, changed_fraction, base_spec)
+    return {
+        "mode": mode,
+        "enabled": FIG7_MODES[mode].enabled,
+        "commit_times": list(outcome.commit_times),
+        "stored_bytes": list(outcome.stored_bytes),
+        "physical_bytes": list(outcome.physical_bytes),
+        "logical_bytes": list(outcome.logical_bytes),
+        "restored_ok": outcome.restored_ok,
+        "sim_time_s": sum(outcome.commit_times),
+    }
+
+
+def fig7_cells(
+    checkpoints: int = 5,
+    state_bytes: int = 16 * MB,
+    changed_fraction: float = 0.25,
+    modes: Sequence[str] = ("off", "dedup", "zlib"),
+    spec: Optional[ClusterSpec] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of the ablation (one per mode)."""
+    cells: List[Cell] = []
+    for mode in modes:
+        cells.append(
+            Cell(
+                experiment="fig7",
+                parts=(mode,),
+                func=run_fig7_cell,
+                params={
+                    "mode": mode,
+                    "checkpoints": checkpoints,
+                    "state_bytes": state_bytes,
+                    "changed_fraction": changed_fraction,
+                    "spec": spec,
+                },
+            )
+        )
+    return cells
+
+
+def merge_fig7(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed fig7 cells back into the per-checkpoint row layout."""
+    result = ExperimentResult(experiment="fig7", description=_DESCRIPTION)
+    if not results:
+        return result
+    checkpoints = max(len(cell.payload["commit_times"]) for cell in results)
+    for index in range(checkpoints):
+        row: Dict[str, object] = {"checkpoint": index + 1}
+        for cell in results:
+            payload = cell.payload
+            mode = payload["mode"]
+            row[f"{mode} time_s"] = payload["commit_times"][index]
+            row[f"{mode} stored_MB"] = round(payload["stored_bytes"][index] / 10**6, 2)
+            if payload["enabled"]:
+                row[f"{mode} ratio"] = round(
+                    payload["logical_bytes"][index]
+                    / max(1, payload["physical_bytes"][index]),
+                    2,
+                )
+        row["restored_ok"] = all(cell.payload["restored_ok"] for cell in results)
+        result.rows.append(row)
+    return result
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    return fig7_cells(spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig7",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_fig7,
+    )
+)
+
+
 def run_fig7(
     checkpoints: int = 5,
     state_bytes: int = 16 * MB,
@@ -133,29 +227,6 @@ def run_fig7(
     spec: Optional[ClusterSpec] = None,
 ) -> ExperimentResult:
     """Regenerate the dedup/compression ablation (time + storage series)."""
-    base_spec = (spec or GRAPHENE).scaled(compute_nodes=8, service_nodes=4)
-    result = ExperimentResult(
-        experiment="fig7",
-        description=(
-            "successive whole-file checkpoints: commit time (s), physical storage "
-            "(MB) and dedup ratio with the content-addressed layer off/on"
-        ),
+    return merge_fig7(
+        run_cells_inline(fig7_cells(checkpoints, state_bytes, changed_fraction, modes, spec))
     )
-    outcomes = {
-        mode: _run_mode(FIG7_MODES[mode], checkpoints, state_bytes,
-                        changed_fraction, base_spec)
-        for mode in modes
-    }
-    for index in range(checkpoints):
-        row: Dict[str, object] = {"checkpoint": index + 1}
-        for mode in modes:
-            outcome = outcomes[mode]
-            row[f"{mode} time_s"] = outcome.commit_times[index]
-            row[f"{mode} stored_MB"] = round(outcome.stored_bytes[index] / 10**6, 2)
-            if FIG7_MODES[mode].enabled:
-                row[f"{mode} ratio"] = round(
-                    outcome.logical_bytes[index] / max(1, outcome.physical_bytes[index]), 2
-                )
-        row["restored_ok"] = all(outcomes[mode].restored_ok for mode in modes)
-        result.rows.append(row)
-    return result

@@ -20,7 +20,10 @@ so the per-figure modules only select and format columns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.cells import CellResult
 
 from repro.apps.synthetic import SyntheticBenchmark
 from repro.baselines import Qcow2DiskDeployment, Qcow2FullDeployment
@@ -79,10 +82,15 @@ class ExperimentResult:
         return cols
 
     def to_table(self) -> str:
-        """Render the rows as an aligned text table (what the CLI prints)."""
+        """Render the rows as an aligned text table (what the CLI prints).
+
+        Experiments that produced no rows (or only empty rows, i.e. an empty
+        :meth:`columns`) render as an explicit "(no rows)" stub instead of
+        crashing the table printer or the JSON dump.
+        """
         cols = self.columns()
         if not cols:
-            return f"{self.experiment}: (no rows)"
+            return f"# {self.experiment}: {self.description}\n(no rows)"
         widths = {c: len(c) for c in cols}
         rendered: List[List[str]] = []
         for row in self.rows:
@@ -104,6 +112,36 @@ class ExperimentResult:
         lines += ["  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, cols))
                   for cells in rendered]
         return "\n".join(lines)
+
+
+def merge_approach_cells(
+    experiment: str,
+    description: str,
+    results: Sequence["CellResult"],
+    row_key: Callable[[Dict[str, Any]], Dict[str, Any]],
+    value: Callable[[Dict[str, Any]], Any],
+) -> ExperimentResult:
+    """Group executed cells into rows, one column per approach.
+
+    The shared merge shape of Figures 2/3/4/6: walking cells in canonical
+    enumeration order, every distinct ``row_key(payload)`` dict opens a new
+    row (its entries become the leading columns) and each cell contributes
+    ``value(payload)`` under its approach label.  Subsets selected via
+    ``--cells`` simply produce rows/columns for the cells that ran.
+    """
+    result = ExperimentResult(experiment=experiment, description=description)
+    rows: Dict[tuple, Dict[str, Any]] = {}
+    for cell in results:
+        payload = cell.payload
+        head = row_key(payload)
+        key = tuple(head.values())
+        row = rows.get(key)
+        if row is None:
+            row = dict(head)
+            rows[key] = row
+            result.rows.append(row)
+        row[payload["approach"]] = value(payload)
+    return result
 
 
 def split_approach(approach: str) -> tuple[str, str]:
@@ -200,3 +238,43 @@ def run_synthetic_scenario(
     outcome.checkpoint_times = measurements["checkpoint_times"]  # type: ignore[attr-defined]
     outcome.storage_trajectory = measurements["storage_trajectory"]  # type: ignore[attr-defined]
     return outcome
+
+
+def run_synthetic_cell(
+    approach: str,
+    instances: int,
+    buffer_bytes: int,
+    spec: Optional[ClusterSpec] = None,
+    include_restart: bool = True,
+    checkpoints: int = 1,
+) -> Dict[str, Any]:
+    """Run one synthetic cell and return a JSON-serialisable payload.
+
+    This is the module-level (hence picklable) cell function the runner
+    dispatches to worker processes for Figures 2-5; the per-figure merge
+    functions pick the columns they need out of the payload.
+    """
+    outcome = run_synthetic_scenario(
+        approach,
+        instances,
+        buffer_bytes,
+        spec=spec,
+        include_restart=include_restart,
+        checkpoints=checkpoints,
+    )
+    checkpoint_times = list(outcome.checkpoint_times)  # type: ignore[attr-defined]
+    storage_trajectory = list(outcome.storage_trajectory)  # type: ignore[attr-defined]
+    return {
+        "approach": approach,
+        "instances": instances,
+        "buffer_bytes": buffer_bytes,
+        "deploy_time": outcome.deploy_time,
+        "checkpoint_time": outcome.checkpoint_time,
+        "restart_time": outcome.restart_time,
+        "snapshot_bytes_per_instance": outcome.snapshot_bytes_per_instance,
+        "storage_after_checkpoint": outcome.storage_after_checkpoint,
+        "restored_ok": outcome.restored_ok,
+        "checkpoint_times": checkpoint_times,
+        "storage_trajectory": storage_trajectory,
+        "sim_time_s": outcome.deploy_time + sum(checkpoint_times) + outcome.restart_time,
+    }

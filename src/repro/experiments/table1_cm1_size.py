@@ -16,16 +16,83 @@ Application-level snapshots hold only the dumped subdomains (plus guest OS
 noise and the block-granularity overhead of BlobCR); BLCR snapshots are much
 larger because every byte the processes allocated -- scratch arrays included
 -- ends up in the context files.
+
+Each approach is one independent runner cell (``table1:<approach>``);
+:func:`run_table1` remains as a thin sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps.cm1 import CM1Config
-from repro.experiments.fig6_cm1 import run_cm1_scenario
+from repro.experiments.fig6_cm1 import (
+    BENCH_CM1_PROCESSES,
+    PAPER_CM1_PROCESSES,
+    run_cm1_cell,
+)
 from repro.experiments.harness import CM1_APPROACHES, ExperimentResult
+from repro.runner.cells import Cell, CellResult, run_cells_inline
+from repro.runner.registry import ExperimentSpec, RunConfig, register
 from repro.util.config import ClusterSpec
+
+_DESCRIPTION = "CM1 per disk-snapshot size (MB per VM instance)"
+
+
+def table1_cells(
+    processes: int = 16,
+    approaches: Sequence[str] = CM1_APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[CM1Config] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Table 1 (one per approach)."""
+    cells: List[Cell] = []
+    for approach in approaches:
+        cells.append(
+            Cell(
+                experiment="table1",
+                parts=(approach,),
+                func=run_cm1_cell,
+                params={
+                    "approach": approach,
+                    "processes": processes,
+                    "spec": spec,
+                    "config": config,
+                },
+            )
+        )
+    return cells
+
+
+def merge_table1(results: Sequence[CellResult]) -> ExperimentResult:
+    """Merge executed table1 cells back into the paper's row layout."""
+    result = ExperimentResult(experiment="table1", description=_DESCRIPTION)
+    for cell in results:
+        payload = cell.payload
+        sizes = payload["sizes"]
+        per_instance = max(sizes.values()) if sizes else 0
+        result.rows.append(
+            {
+                "approach": payload["approach"],
+                "snapshot_MB": round(per_instance / 10**6, 1),
+            }
+        )
+    return result
+
+
+def _enumerate(config: RunConfig) -> List[Cell]:
+    counts = PAPER_CM1_PROCESSES if config.paper_scale else BENCH_CM1_PROCESSES
+    return table1_cells(processes=counts[0], spec=config.spec)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="table1",
+        description=_DESCRIPTION,
+        enumerate_cells=_enumerate,
+        merge=merge_table1,
+    )
+)
 
 
 def run_table1(
@@ -35,15 +102,6 @@ def run_table1(
     config: Optional[CM1Config] = None,
 ) -> ExperimentResult:
     """Regenerate Table 1 (per disk-snapshot size, MB per VM instance)."""
-    result = ExperimentResult(
-        experiment="table1",
-        description="CM1 per disk-snapshot size (MB per VM instance)",
+    return merge_table1(
+        run_cells_inline(table1_cells(processes, approaches, spec, config))
     )
-    for approach in approaches:
-        _duration, sizes = run_cm1_scenario(approach, processes, spec=spec, config=config)
-        per_instance = max(sizes.values()) if sizes else 0
-        result.rows.append({
-            "approach": approach,
-            "snapshot_MB": round(per_instance / 10**6, 1),
-        })
-    return result

@@ -20,6 +20,20 @@ from repro.util.errors import ProcessError
 _pids = itertools.count(1000)
 
 
+def reset_pids(start: int = 1000) -> None:
+    """Restart the guest pid namespace.
+
+    Pids leak into checkpoint content (the BLCR context-file header), so a
+    host-process-global counter would make simulated results depend on how
+    many scenarios ran earlier in the same interpreter.  A fresh simulated
+    cloud therefore resets the namespace, keeping every experiment cell
+    deterministic no matter which worker process executes it or in which
+    order.
+    """
+    global _pids
+    _pids = itertools.count(start)
+
+
 class ProcessState(enum.Enum):
     RUNNING = "running"
     STOPPED = "stopped"

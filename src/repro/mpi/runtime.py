@@ -14,7 +14,7 @@ messages -- the "marker" step) and ``resume``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List
 
 from repro.cluster.cloud import Cloud
 from repro.sim.resources import Store

@@ -1,0 +1,63 @@
+"""Registry-driven parallel experiment runner.
+
+The evaluation of the paper is embarrassingly parallel: every
+(experiment, approach, scale-point) cell is an independent
+deploy/checkpoint/restart simulation.  This package turns that structure into
+a subsystem:
+
+* :mod:`repro.runner.registry` -- experiments register an
+  :class:`~repro.runner.registry.ExperimentSpec` (cell enumeration + merge),
+* :mod:`repro.runner.cells` -- the :class:`~repro.runner.cells.Cell` work
+  unit with deterministic per-cell seeding,
+* :mod:`repro.runner.parallel` -- the
+  :class:`~repro.runner.parallel.ParallelRunner` process-pool executor,
+* :mod:`repro.runner.select` -- ``--cells`` selector parsing,
+* :mod:`repro.runner.artifact` -- schema-versioned JSON perf artifacts,
+* :mod:`repro.runner.regression` -- the CI benchmark gate consuming them.
+"""
+
+from repro.runner.artifact import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    ArtifactError,
+    build_artifact,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.runner.cells import Cell, CellResult, execute_cell, run_cells_inline
+from repro.runner.parallel import ParallelRunner, RunReport
+from repro.runner.registry import (
+    ExperimentSpec,
+    RunConfig,
+    experiment_names,
+    get_experiment,
+    load_all,
+    register,
+)
+from repro.runner.select import CellSelector, filter_cells, parse_selectors
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "Cell",
+    "CellResult",
+    "CellSelector",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "RunConfig",
+    "RunReport",
+    "build_artifact",
+    "execute_cell",
+    "experiment_names",
+    "filter_cells",
+    "get_experiment",
+    "load_all",
+    "load_artifact",
+    "parse_selectors",
+    "register",
+    "run_cells_inline",
+    "validate_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,170 @@
+"""Structured performance artifacts of a runner invocation.
+
+Every run can emit one schema-versioned JSON document carrying, per cell, the
+host wall-clock time and the simulated time plus the full measurement
+payload, alongside the merged experiment rows and enough environment context
+(Python, platform, CPU count, a CPU-speed calibration) to compare artifacts
+recorded on different machines.  The CI benchmark gate consumes these
+documents: it checks row-level determinism between worker counts and flags
+wall-time regressions against a committed baseline after normalising by the
+calibration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.runner.parallel import RunReport
+from repro.util.errors import ConfigurationError
+
+SCHEMA = "blobcr-repro/bench-artifact"
+SCHEMA_VERSION = 1
+
+
+class ArtifactError(ConfigurationError):
+    """An artifact document is missing, malformed or incompatible."""
+
+
+def calibration_spin(iterations: int = 1_500_000, repeats: int = 3) -> float:
+    """Measure a fixed pure-Python workload (seconds, best of ``repeats``).
+
+    The loop is deliberately interpreter-bound -- the same kind of work the
+    simulator does -- so the ratio of two machines' spin times approximates
+    the ratio of their single-core runner throughput.  Regression checks use
+    it to compare wall times recorded on different hardware.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(iterations):
+            acc += i * i
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def environment_info() -> Dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_artifact(
+    report: RunReport,
+    argv: Optional[List[str]] = None,
+    calibrate: bool = True,
+) -> Dict[str, Any]:
+    """Build the JSON-serialisable artifact document for one run."""
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "run": {
+            "experiments": list(report.experiments),
+            "workers": report.workers,
+            "paper_scale": report.paper_scale,
+            "cells": len(report.cell_results),
+            "wall_time_s": report.wall_time_s,
+            "cell_wall_time_s": report.total_cell_wall_time_s,
+            "sim_time_s": report.total_sim_time_s,
+            "argv": list(argv) if argv is not None else None,
+        },
+        "environment": environment_info(),
+        "calibration": {"spin_time_s": calibration_spin() if calibrate else None},
+        "cells": [
+            {
+                "key": r.key,
+                "experiment": r.experiment,
+                "wall_time_s": r.wall_time_s,
+                "sim_time_s": r.sim_time_s,
+                "payload": r.payload,
+            }
+            for r in report.cell_results
+        ],
+        "experiments": {
+            result.experiment: {
+                "description": result.description,
+                "rows": result.rows,
+                "wall_time_s": sum(
+                    r.wall_time_s
+                    for r in report.cell_results
+                    if r.experiment == result.experiment
+                ),
+            }
+            for result in report.results
+        },
+    }
+
+
+def validate_artifact(document: Any) -> Dict[str, Any]:
+    """Check an artifact document against the schema; return it on success."""
+    if not isinstance(document, dict):
+        raise ArtifactError(f"artifact must be a JSON object, got {type(document).__name__}")
+    if document.get("schema") != SCHEMA:
+        raise ArtifactError(f"not a {SCHEMA} document: schema={document.get('schema')!r}")
+    version = document.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION or version < 1:
+        raise ArtifactError(
+            f"unsupported schema_version {version!r} (this reader handles <= {SCHEMA_VERSION})"
+        )
+    for section, kind in (
+        ("run", dict),
+        ("environment", dict),
+        ("calibration", dict),
+        ("cells", list),
+        ("experiments", dict),
+    ):
+        if section not in document:
+            raise ArtifactError(f"artifact is missing the {section!r} section")
+        if not isinstance(document[section], kind):
+            raise ArtifactError(f"artifact {section!r} must be a {kind.__name__}")
+    if not isinstance(document["run"].get("wall_time_s"), (int, float)):
+        raise ArtifactError("artifact run.wall_time_s must be a number")
+    for cell in document["cells"]:
+        if not isinstance(cell, dict):
+            raise ArtifactError(f"artifact cell must be an object, got {type(cell).__name__}")
+        for key in ("key", "experiment", "wall_time_s", "sim_time_s", "payload"):
+            if key not in cell:
+                raise ArtifactError(f"artifact cell is missing {key!r}: {cell.get('key')}")
+    for name, experiment in document["experiments"].items():
+        if not isinstance(experiment, dict):
+            raise ArtifactError(f"artifact experiment {name!r} must be an object")
+        for key in ("rows", "wall_time_s"):
+            if key not in experiment:
+                raise ArtifactError(f"artifact experiment {name!r} is missing {key!r}")
+        if not isinstance(experiment["rows"], list):
+            raise ArtifactError(f"artifact experiment {name!r} rows must be a list")
+        if not isinstance(experiment["wall_time_s"], (int, float)):
+            raise ArtifactError(f"artifact experiment {name!r} wall_time_s must be a number")
+    return document
+
+
+def write_artifact(path: str, document: Dict[str, Any]) -> None:
+    """Validate and write one artifact document (``-`` writes to stdout)."""
+    validate_artifact(document)
+    payload = json.dumps(document, indent=2, sort_keys=False, default=str)
+    if path == "-":
+        sys.stdout.write(payload + "\n")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Read and validate one artifact document from ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path} is not valid JSON: {exc}") from exc
+    return validate_artifact(document)

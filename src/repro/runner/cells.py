@@ -1,0 +1,100 @@
+"""The unit of parallel work: one independent experiment cell.
+
+Every figure/table of the evaluation decomposes into independent
+(approach x scale-point) cells: each cell builds its own simulated cloud,
+runs one complete deploy/checkpoint/restart (or commit) cycle and returns a
+flat, JSON-serialisable payload.  Because every stochastic quantity in the
+simulator flows through ``repro.util.rng`` generators keyed by the cell's own
+configuration, a cell produces bit-identical results no matter which worker
+process executes it or in which order -- which is what lets the
+:class:`~repro.runner.parallel.ParallelRunner` fan cells out freely while
+keeping single-worker runs byte-identical to the historical sequential path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.util.rng import stable_seed
+
+#: payloads are plain dicts of JSON-serialisable values
+CellPayload = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of work of one experiment.
+
+    ``parts`` are the identity components after the experiment name; together
+    they form the cell's :attr:`key` (``fig2:BlobCR-app:24:50MB``), which is
+    what ``--cells`` selectors match against.  ``func`` must be a module-level
+    (hence picklable) callable returning a :data:`CellPayload`.
+    """
+
+    experiment: str
+    parts: Tuple[str, ...]
+    func: Callable[..., CellPayload]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return ":".join((self.experiment,) + self.parts)
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-cell RNG seed, derived from the cell identity."""
+        return stable_seed("cell", self.experiment, *self.parts)
+
+
+@dataclass
+class CellResult:
+    """What one executed cell reports back to the runner."""
+
+    key: str
+    experiment: str
+    parts: Tuple[str, ...]
+    payload: CellPayload
+    #: host wall-clock time spent executing the cell, seconds
+    wall_time_s: float
+    #: simulated time covered by the cell (as reported by the payload)
+    sim_time_s: float
+
+
+def execute_cell(cell: Cell) -> CellResult:
+    """Execute one cell (in whatever process the runner placed it).
+
+    The global RNGs are re-seeded from the cell identity first: all outcome
+    math flows through per-configuration ``make_rng`` generators already, but
+    this pins down any incidental global-RNG use so a cell's behaviour can
+    never depend on which worker ran it or on what ran before it.
+    """
+    random.seed(cell.seed)
+    try:
+        import numpy as np
+
+        np.random.seed(cell.seed & 0xFFFFFFFF)
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        pass
+    t0 = time.perf_counter()
+    payload = cell.func(**cell.params)
+    wall = time.perf_counter() - t0
+    return CellResult(
+        key=cell.key,
+        experiment=cell.experiment,
+        parts=cell.parts,
+        payload=payload,
+        wall_time_s=wall,
+        sim_time_s=float(payload.get("sim_time_s", 0.0)),
+    )
+
+
+def run_cells_inline(cells: List[Cell]) -> List[CellResult]:
+    """Execute cells sequentially in this process, in the given order.
+
+    This is the ``--workers 1`` path and the engine behind the thin
+    ``run_figN`` compatibility wrappers.
+    """
+    return [execute_cell(cell) for cell in cells]

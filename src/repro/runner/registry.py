@@ -1,0 +1,74 @@
+"""Registry of experiment specifications.
+
+Each figure/table module registers itself as an :class:`ExperimentSpec` at
+import time: how to enumerate its independent cells for a given
+:class:`RunConfig`, and how to merge executed cell results back into the
+canonical :class:`~repro.experiments.harness.ExperimentResult` rows.  The
+registry preserves registration order, which is the canonical experiment
+order of the CLI (fig2 ... table1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.harness import ExperimentResult
+    from repro.runner.cells import Cell, CellResult
+    from repro.util.config import ClusterSpec
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Scale/cluster knobs shared by every experiment of one run."""
+
+    paper_scale: bool = False
+    #: override the simulated cluster (``None`` uses each experiment's default)
+    spec: Optional["ClusterSpec"] = None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: cell enumeration + result merging."""
+
+    name: str
+    description: str
+    #: enumerate the experiment's cells, in canonical (sequential) order
+    enumerate_cells: Callable[[RunConfig], List["Cell"]]
+    #: merge executed cells (in enumeration order, possibly a subset when
+    #: ``--cells`` selected one) back into canonical rows
+    merge: Callable[[List["CellResult"]], "ExperimentResult"]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register one experiment; re-registration under the same name replaces
+    the previous spec (so modules stay reload-safe)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r} (known: {', '.join(_REGISTRY) or 'none'})"
+        ) from None
+
+
+def experiment_names() -> List[str]:
+    """Names of all registered experiments, in registration order."""
+    return list(_REGISTRY)
+
+
+def load_all() -> List[str]:
+    """Import every experiment module so the registry is fully populated."""
+    import repro.experiments  # noqa: F401  (imports register the specs)
+
+    return experiment_names()

@@ -1,0 +1,167 @@
+"""Benchmark-gate logic: compare perf artifacts against a committed baseline.
+
+Wall-clock times measured on different machines are not directly comparable,
+so every artifact embeds a CPU-speed calibration
+(:func:`repro.runner.artifact.calibration_spin`).  The gate rescales the
+baseline's wall times by the ratio of the two calibrations before applying
+the regression threshold, and additionally grants a small absolute slack so
+that sub-second experiments cannot trip the relative threshold on noise.
+
+The gate also checks *determinism*: two artifacts of the same experiments
+(e.g. ``--workers 1`` vs ``--workers 4``) must contain identical rows --
+simulated results may never depend on the worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: default threshold: fail on > 20% calibrated wall-time regression
+DEFAULT_MAX_REGRESSION = 0.20
+#: absolute slack (seconds) added on top of the relative threshold
+DEFAULT_SLACK_SECONDS = 2.0
+
+
+@dataclass
+class GateReport:
+    """Outcome of one regression/determinism check."""
+
+    failures: List[str] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+        self.lines.append(f"FAIL  {message}")
+
+    def note(self, message: str) -> None:
+        self.lines.append(f"      {message}")
+
+
+def calibration_scale(baseline: Dict[str, Any], artifact: Dict[str, Any]) -> float:
+    """Expected slowdown of the current machine relative to the baseline's."""
+    base_spin = (baseline.get("calibration") or {}).get("spin_time_s")
+    this_spin = (artifact.get("calibration") or {}).get("spin_time_s")
+    if not base_spin or not this_spin:
+        return 1.0
+    return this_spin / base_spin
+
+
+def check_regression(
+    baseline: Dict[str, Any],
+    artifact: Dict[str, Any],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    slack_seconds: float = DEFAULT_SLACK_SECONDS,
+) -> GateReport:
+    """Fail if any shared experiment's wall time regressed past the threshold."""
+    report = GateReport()
+    scale = calibration_scale(baseline, artifact)
+    report.note(f"calibration scale (this machine vs baseline): {scale:.3f}x")
+    shared = [
+        name for name in baseline.get("experiments", {}) if name in artifact["experiments"]
+    ]
+    if not shared:
+        report.fail("baseline and artifact share no experiments to compare")
+        return report
+    total_base = 0.0
+    total_now = 0.0
+    for name in shared:
+        base_wall = float(baseline["experiments"][name]["wall_time_s"])
+        now_wall = float(artifact["experiments"][name]["wall_time_s"])
+        allowed = base_wall * scale * (1.0 + max_regression) + slack_seconds
+        total_base += base_wall
+        total_now += now_wall
+        status = "ok" if now_wall <= allowed else "REGRESSED"
+        report.note(
+            f"{name}: {now_wall:.2f}s vs baseline {base_wall:.2f}s "
+            f"(allowed {allowed:.2f}s) {status}"
+        )
+        if now_wall > allowed:
+            report.fail(
+                f"{name}: wall time {now_wall:.2f}s exceeds calibrated allowance "
+                f"{allowed:.2f}s (baseline {base_wall:.2f}s, threshold "
+                f"{max_regression:.0%} + {slack_seconds:.1f}s slack)"
+            )
+    allowed_total = total_base * scale * (1.0 + max_regression) + slack_seconds
+    report.note(
+        f"total: {total_now:.2f}s vs baseline {total_base:.2f}s (allowed {allowed_total:.2f}s)"
+    )
+    if total_now > allowed_total:
+        report.fail(
+            f"total wall time {total_now:.2f}s exceeds calibrated allowance "
+            f"{allowed_total:.2f}s"
+        )
+    return report
+
+
+def check_determinism(first: Dict[str, Any], second: Dict[str, Any]) -> GateReport:
+    """Fail unless both artifacts contain identical rows for shared experiments."""
+    report = GateReport()
+    shared = [
+        name for name in first.get("experiments", {}) if name in second.get("experiments", {})
+    ]
+    if not shared:
+        report.fail("artifacts share no experiments to compare for determinism")
+        return report
+    for name in shared:
+        rows_a = first["experiments"][name]["rows"]
+        rows_b = second["experiments"][name]["rows"]
+        if rows_a == rows_b:
+            report.note(f"{name}: {len(rows_a)} rows identical")
+        else:
+            report.fail(
+                f"{name}: rows differ between artifacts "
+                f"({len(rows_a)} vs {len(rows_b)} rows) -- results must not "
+                f"depend on the worker count"
+            )
+    return report
+
+
+def speedup(sequential: Dict[str, Any], parallel: Dict[str, Any]) -> float:
+    """Elapsed-wall speedup of the parallel run over the sequential one."""
+    seq_wall = float(sequential["run"]["wall_time_s"])
+    par_wall = float(parallel["run"]["wall_time_s"])
+    return seq_wall / par_wall if par_wall > 0 else float("inf")
+
+
+def speedup_summary(sequential: Dict[str, Any], parallel: Dict[str, Any]) -> List[str]:
+    """Human-readable wall-time comparison of a sequential vs parallel run."""
+    seq_run = sequential["run"]
+    par_run = parallel["run"]
+    return [
+        f"sequential ({seq_run['workers']} worker): {float(seq_run['wall_time_s']):.2f}s wall",
+        f"parallel ({par_run['workers']} workers): {float(par_run['wall_time_s']):.2f}s wall",
+        f"speedup: {speedup(sequential, parallel):.2f}x over {int(par_run['cells'])} cells",
+    ]
+
+
+def check_speedup(
+    sequential: Dict[str, Any],
+    parallel: Dict[str, Any],
+    min_speedup: float,
+) -> GateReport:
+    """Fail unless the parallel run beat the sequential one by ``min_speedup``.
+
+    Only meaningful on multi-core machines: when the parallel artifact was
+    recorded on a single core there is no parallelism to win, so the check
+    reports the ratio but does not gate on it.
+    """
+    report = GateReport()
+    ratio = speedup(sequential, parallel)
+    for line in speedup_summary(sequential, parallel):
+        report.note(line)
+    cpu_count = (parallel.get("environment") or {}).get("cpu_count")
+    if isinstance(cpu_count, int) and cpu_count < 2:
+        report.note(
+            f"single-core environment (cpu_count={cpu_count}): speedup gate skipped"
+        )
+        return report
+    if ratio < min_speedup:
+        report.fail(
+            f"parallel speedup {ratio:.2f}x is below the required {min_speedup:.2f}x"
+        )
+    return report

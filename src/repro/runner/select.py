@@ -1,0 +1,73 @@
+"""``--cells`` selector parsing and matching.
+
+A selector is a colon-separated prefix of a cell key:
+
+* ``fig2`` selects every cell of fig2,
+* ``fig2:BlobCR-app`` selects every scale point of that approach,
+* ``fig2:BlobCR-app:24`` selects both buffer sizes at 24 processes,
+* ``fig2:BlobCR-app:24:50MB`` selects exactly one cell.
+
+Several selectors may be given (repeated flags or comma-separated); a cell is
+kept if any selector matches.  A selector that matches nothing is an error --
+it is almost always a typo, and silently running an empty experiment would
+masquerade as success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.runner.cells import Cell
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CellSelector:
+    """One parsed ``--cells`` selector (an experiment plus a key prefix)."""
+
+    experiment: str
+    parts: Tuple[str, ...]
+
+    @property
+    def text(self) -> str:
+        return ":".join((self.experiment,) + self.parts)
+
+    def matches(self, cell: Cell) -> bool:
+        if cell.experiment != self.experiment:
+            return False
+        return cell.parts[: len(self.parts)] == self.parts
+
+
+def parse_selectors(raw: Iterable[str]) -> List[CellSelector]:
+    """Parse repeated/comma-separated ``--cells`` values."""
+    selectors: List[CellSelector] = []
+    for chunk in raw:
+        for text in chunk.split(","):
+            text = text.strip()
+            if not text:
+                continue
+            head, *rest = text.split(":")
+            if not head:
+                raise ConfigurationError(f"invalid --cells selector {text!r}")
+            selectors.append(CellSelector(experiment=head, parts=tuple(rest)))
+    return selectors
+
+
+def filter_cells(cells: Sequence[Cell], selectors: Sequence[CellSelector]) -> List[Cell]:
+    """Keep the cells any selector matches, preserving canonical order.
+
+    Raises :class:`ConfigurationError` for selectors that match no cell.
+    """
+    if not selectors:
+        return list(cells)
+    unmatched = [sel for sel in selectors if not any(sel.matches(c) for c in cells)]
+    if unmatched:
+        known = ", ".join(c.key for c in cells[:12])
+        more = " ..." if len(cells) > 12 else ""
+        raise ConfigurationError(
+            "unknown cell selector(s): "
+            + ", ".join(sel.text for sel in unmatched)
+            + f" (cells look like: {known}{more})"
+        )
+    return [cell for cell in cells if any(sel.matches(cell) for sel in selectors)]

@@ -20,7 +20,7 @@ The model is deterministic and exact for piecewise-constant rates.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.sim.core import Environment, Event
 from repro.util.errors import SimulationError

@@ -14,7 +14,7 @@ from repro.blobseer import (
     VersionManager,
 )
 from repro.blobseer.metadata import ChunkDescriptor
-from repro.util import LiteralBytes, SyntheticBytes, ZeroBytes
+from repro.util import LiteralBytes, SyntheticBytes
 from repro.util.errors import (
     ChunkNotFoundError,
     StorageError,

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface on top of the parallel runner."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.harness import ExperimentResult
+from repro.runner import load_artifact
+from repro.runner.registry import _REGISTRY, ExperimentSpec, register
+
+
+class TestArgumentErrors:
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_cell_selector(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--cells", "fig2:BlobCR-app:999", "--no-progress"])
+        assert excinfo.value.code == 2
+        assert "unknown cell selector" in capsys.readouterr().err
+
+    def test_cells_of_foreign_experiment(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99x:foo", "--cells", "fig99x:foo"])
+        assert excinfo.value.code == 2
+
+    def test_selector_outside_requested_experiments(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig3", "--cells", "fig2:BlobCR-app"])
+        assert excinfo.value.code == 2
+        assert "outside the requested experiments" in capsys.readouterr().err
+
+    def test_bad_worker_count(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workers", "0"])
+        assert excinfo.value.code == 2
+
+
+class TestListCells:
+    def test_list_cells_for_one_experiment(self, capsys):
+        assert main(["fig7", "--list-cells"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["fig7:off", "fig7:dedup", "fig7:zlib"]
+
+    def test_list_cells_respects_selectors(self, capsys):
+        assert main(["--cells", "fig7:zlib", "--list-cells"]) == 0
+        assert capsys.readouterr().out.splitlines() == ["fig7:zlib"]
+
+
+class TestRuns:
+    def test_single_cell_run_with_json(self, capsys):
+        assert main(["--cells", "fig4:BlobCR-app:50MB", "--json", "-", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "# fig4:" in out
+        payload = json.loads(out[out.index("{") :])
+        assert list(payload) == ["fig4"]
+        rows = payload["fig4"]["rows"]
+        assert len(rows) == 1
+        assert set(rows[0]) == {"buffer_MB", "BlobCR-app"}
+        assert rows[0]["buffer_MB"] == 50
+        assert rows[0]["BlobCR-app"] > 0
+
+    def test_progress_reported_on_stderr(self, capsys):
+        assert main(["--cells", "fig7:off", "--workers", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[1/1] fig7:off" in captured.err
+        assert "fig7" in captured.out
+
+    def test_workers_produce_identical_stdout(self, capsys):
+        assert main(["--cells", "fig7:off,fig7:dedup", "--no-progress"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["--cells", "fig7:off,fig7:dedup", "--workers", "2", "--no-progress"]) == 0
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+
+    def test_artifact_written_and_valid(self, tmp_path, capsys):
+        path = tmp_path / "artifact.json"
+        argv = ["--cells", "fig7:off", "--artifact", str(path), "--no-progress"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        document = load_artifact(str(path))
+        assert document["run"]["argv"] == argv
+        assert document["run"]["workers"] == 1
+        assert [c["key"] for c in document["cells"]] == ["fig7:off"]
+        assert document["experiments"]["fig7"]["rows"]
+
+
+class TestZeroRowResilience:
+    @pytest.fixture()
+    def empty_experiment(self):
+        """Temporarily register an experiment that yields no cells/rows."""
+        name = "emptytest"
+        register(
+            ExperimentSpec(
+                name=name,
+                description="an experiment with no cells",
+                enumerate_cells=lambda config: [],
+                merge=lambda results: ExperimentResult(
+                    experiment=name, description="an experiment with no cells"
+                ),
+            )
+        )
+        yield name
+        _REGISTRY.pop(name, None)
+
+    def test_empty_result_renders_and_serialises(self, empty_experiment, capsys):
+        assert main([empty_experiment, "--json", "-", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "(no rows)" in out
+        payload = json.loads(out[out.index("{") :])
+        assert payload[empty_experiment]["rows"] == []
+
+    def test_empty_to_table_includes_description(self):
+        result = ExperimentResult(experiment="figX", description="nothing to see")
+        assert result.columns() == []
+        assert "(no rows)" in result.to_table()
+        assert "figX" in result.to_table()
+        # rows carrying only empty dicts behave the same
+        result.rows.append({})
+        assert "(no rows)" in result.to_table()

@@ -12,7 +12,7 @@ from repro.core import (
 )
 from repro.util import LiteralBytes, SyntheticBytes
 from repro.util.config import GRAPHENE
-from repro.util.errors import SnapshotError, StorageError
+from repro.util.errors import SnapshotError
 from repro.util.units import MB
 
 SMALL = GRAPHENE.scaled(compute_nodes=6, service_nodes=3)

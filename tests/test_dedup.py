@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blobseer import BlobClient, Chunk, ChunkKey, DataProvider, ProviderManager
+from repro.blobseer import BlobClient, ChunkKey, DataProvider, ProviderManager
 from repro.dedup import (
     HEADER_BYTES,
     ChunkIndex,
