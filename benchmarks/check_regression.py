@@ -59,6 +59,12 @@ def main(argv=None) -> int:
         help="absolute slack added on top of the threshold (default: %(default)s)",
     )
     parser.add_argument(
+        "--allow-new-experiments",
+        action="store_true",
+        help="report (instead of fail on) artifact experiments that have no "
+        "committed baseline yet",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -82,6 +88,7 @@ def main(argv=None) -> int:
             artifact,
             max_regression=args.max_regression,
             slack_seconds=args.slack_seconds,
+            allow_new=args.allow_new_experiments,
         )
         print("== wall-time regression vs baseline ==")
         print("\n".join(gate.lines))

@@ -55,10 +55,14 @@ def main() -> None:
     print(f"  stencil changed the fields         : {report['numerics_changed']}")
     print(f"  application-level checkpoint time  : {format_duration(report['app_time'])}")
     print(f"  process-level (BLCR) checkpoint    : {format_duration(report['blcr_time'])}")
-    print(f"  1st (app) snapshot per instance    : {format_bytes(report['app_size'])}"
-          "  (restart files + guest OS noise)")
-    print(f"  2nd (BLCR) incremental snapshot    : {format_bytes(report['blcr_size'])}"
-          "  (only the newly written context files)")
+    print(
+        f"  1st (app) snapshot per instance    : {format_bytes(report['app_size'])}"
+        "  (restart files + guest OS noise)"
+    )
+    print(
+        f"  2nd (BLCR) incremental snapshot    : {format_bytes(report['blcr_size'])}"
+        "  (only the newly written context files)"
+    )
     print(f"  state dumped by the application    : {format_bytes(report['app_dump'])} per VM")
     print(f"  memory dumped by BLCR              : {format_bytes(report['blcr_dump'])} per VM")
     print("  -> BLCR dumps every allocated byte (scratch arrays included), which is")

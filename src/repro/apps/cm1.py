@@ -78,8 +78,12 @@ class CM1Config:
 class CM1Application:
     """CM1 running on a deployment (several MPI processes per VM)."""
 
-    def __init__(self, deployment: Deployment, config: Optional[CM1Config] = None,
-                 processes_per_instance: int = 4):
+    def __init__(
+        self,
+        deployment: Deployment,
+        config: Optional[CM1Config] = None,
+        processes_per_instance: int = 4,
+    ):
         self.deployment = deployment
         self.cloud = deployment.cloud
         self.config = config or CM1Config()
@@ -100,8 +104,13 @@ class CM1Application:
         rank = 0
         for instance in self.deployment.instances:
             for _ in range(self.processes_per_instance):
-                placements.append(MPIRank(rank=rank, instance_id=instance.instance_id,
-                                          node_name=instance.vm.host or instance.node_name))
+                placements.append(
+                    MPIRank(
+                        rank=rank,
+                        instance_id=instance.instance_id,
+                        node_name=instance.vm.host or instance.node_name,
+                    )
+                )
                 rank += 1
         self.comm = MPICommunicator(self.cloud, placements)
         return self.comm
@@ -118,12 +127,16 @@ class CM1Application:
         for instance in self.deployment.instances:
             for process in instance.vm.processes.values():
                 # The guest process's memory footprint is what BLCR will dump.
-                process.allocate("cm1_state",
-                                 _symbolic_bytes(cfg.state_bytes_per_process, ("cm1", rank)))
-                process.allocate("cm1_scratch",
-                                 _symbolic_bytes(cfg.memory_bytes_per_process
-                                                 - cfg.state_bytes_per_process,
-                                                 ("cm1-scratch", rank)))
+                process.allocate(
+                    "cm1_state", _symbolic_bytes(cfg.state_bytes_per_process, ("cm1", rank))
+                )
+                process.allocate(
+                    "cm1_scratch",
+                    _symbolic_bytes(
+                        cfg.memory_bytes_per_process - cfg.state_bytes_per_process,
+                        ("cm1-scratch", rank),
+                    ),
+                )
                 if materialise_state:
                     rng = make_rng("cm1-domain", rank)
                     self._state[rank] = rng.standard_normal(
@@ -133,7 +146,7 @@ class CM1Application:
         if self.comm is None:
             self.build_communicator()
 
-    # -- numerics ------------------------------------------------------------------------------------
+    # -- numerics ----------------------------------------------------------------------------------
 
     def _stencil_update(self, state: np.ndarray) -> np.ndarray:
         """One explicit diffusion-advection-like update (vectorised NumPy)."""
@@ -178,23 +191,28 @@ class CM1Application:
         for instance in self.deployment.instances:
             for p_index in range(self.processes_per_instance):
                 path = f"/out/summary-{p_index}-{self.iteration:05d}.dat"
-                data = _symbolic_bytes(summary_bytes,
-                                       ("cm1-summary", instance.instance_id, p_index,
-                                        self.iteration))
+                data = _symbolic_bytes(
+                    summary_bytes, ("cm1-summary", instance.instance_id, p_index, self.iteration)
+                )
                 instance.vm.filesystem.write_file(path, data)
-            writes.append(self.cloud.process(self.deployment.guest_sync(instance),
-                                             name=f"cm1-summary:{instance.instance_id}"))
+            writes.append(
+                self.cloud.process(
+                    self.deployment.guest_sync(instance), name=f"cm1-summary:{instance.instance_id}"
+                )
+            )
         yield self.cloud.env.all_of(writes)
 
-    # -- checkpointing -----------------------------------------------------------------------------------
+    # -- checkpointing -----------------------------------------------------------------------------
 
     def _dump_instance_app_level(self, instance: DeployedInstance) -> Generator:
         cfg = self.config
         fs = instance.vm.filesystem
         for p_index in range(self.processes_per_instance):
             path = f"/ckpt/cm1-restart-{p_index}.dat"
-            data = _symbolic_bytes(cfg.state_bytes_per_process,
-                                   ("cm1-restart", instance.instance_id, p_index, self.iteration))
+            data = _symbolic_bytes(
+                cfg.state_bytes_per_process,
+                ("cm1-restart", instance.instance_id, p_index, self.iteration),
+            )
             fs.write_file(path, data)
         written = yield from self.deployment.guest_sync(instance)
         return written
@@ -207,11 +225,12 @@ class CM1Application:
         # CM1 synchronises the MPI processes before dumping the subdomains.
         yield from self.comm.barrier()
         dumps = [
-            self.cloud.process(self._dump_instance_app_level(inst),
-                               name=f"cm1-dump:{inst.instance_id}")
+            self.cloud.process(
+                self._dump_instance_app_level(inst), name=f"cm1-dump:{inst.instance_id}"
+            )
             for inst in self.deployment.instances
         ]
-        yield self.cloud.env.all_of(dumps)
+        yield from self.deployment.await_all(dumps)
         checkpoint = yield from self.deployment.checkpoint_all(tag="cm1-app")
         checkpoint_duration = self.cloud.now - started
         return checkpoint, checkpoint_duration

@@ -49,8 +49,9 @@ class SyntheticBenchmark:
 
     # -- workload ------------------------------------------------------------------------------
 
-    def _buffer_for(self, instance_id: str) -> ByteSource:
-        return SyntheticBytes((self.seed, instance_id, self._fill_epoch), self.buffer_bytes)
+    def _buffer_for(self, instance_id: str, epoch: Optional[int] = None) -> ByteSource:
+        epoch = self._fill_epoch if epoch is None else epoch
+        return SyntheticBytes((self.seed, instance_id, epoch), self.buffer_bytes)
 
     def fill_buffers(self) -> None:
         """Fill (or refill) every process's data buffer with random data."""
@@ -84,7 +85,9 @@ class SyntheticBenchmark:
             self.cloud.process(self._dump_instance(inst), name=f"dump:{inst.instance_id}")
             for inst in self.deployment.instances
         ]
-        yield self.cloud.env.all_of(dumps)
+        # A failed dump (fail-stop crash mid-checkpoint) must not leave
+        # sibling dumps running into a subsequent rollback.
+        yield from self.deployment.await_all(dumps)
         checkpoint = yield from self.deployment.checkpoint_all(tag="app")
         self.results.append(SyntheticResult(
             phase="checkpoint-app", duration=self.cloud.now - started,
@@ -107,8 +110,9 @@ class SyntheticBenchmark:
 
     # -- restart -----------------------------------------------------------------------------------
 
-    def restart(self, checkpoint: GlobalCheckpoint,
-                target_nodes: Optional[Dict[str, str]] = None) -> Generator:
+    def restart(
+        self, checkpoint: GlobalCheckpoint, target_nodes: Optional[Dict[str, str]] = None
+    ) -> Generator:
         """Simulation process: kill everything, restart, read the state back."""
         started = self.cloud.now
         report = yield from self.deployment.restart_all(checkpoint, target_nodes=target_nodes)
@@ -118,14 +122,22 @@ class SyntheticBenchmark:
         ))
         return report
 
-    def verify_restored_state(self, sample_bytes: int = 65536) -> bool:
-        """Check (functionally) that restored state files match the buffers."""
-        path = STATE_PATH_TEMPLATE.format(epoch=self._fill_epoch)
+    def verify_restored_state(self, sample_bytes: int = 65536, epoch: Optional[int] = None) -> bool:
+        """Check (functionally) that restored state files match the buffers.
+
+        ``epoch`` selects which fill epoch to verify against; the default is
+        the most recent one.  After a rollback the restored guest holds the
+        state of the last durable checkpoint, so recovery paths verify
+        against that checkpoint's epoch rather than the fills that were lost
+        with the crash.
+        """
+        epoch = self._fill_epoch if epoch is None else epoch
+        path = STATE_PATH_TEMPLATE.format(epoch=epoch)
         for instance in self.deployment.instances:
             if instance.vm.fs is None or not instance.vm.filesystem.exists(path):
                 continue
             data = instance.vm.filesystem.read_file(path)
-            expected = self._buffer_for(instance.instance_id)
+            expected = self._buffer_for(instance.instance_id, epoch=epoch)
             if data.size != expected.size:
                 return False
             window = min(sample_bytes, data.size)

@@ -29,9 +29,13 @@ class QcowPVFSDeployment(Deployment):
 
     name = "qcow2-common"
 
-    def __init__(self, cloud: Cloud, pvfs: Optional[PVFSDeployment] = None,
-                 base_image: Optional[RawImage] = None,
-                 boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES):
+    def __init__(
+        self,
+        cloud: Cloud,
+        pvfs: Optional[PVFSDeployment] = None,
+        base_image: Optional[RawImage] = None,
+        boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES,
+    ):
         super().__init__(cloud)
         self.pvfs = pvfs or PVFSDeployment(cloud)
         self._base_image = base_image
@@ -106,8 +110,7 @@ class QcowPVFSDeployment(Deployment):
         yield self.cloud.env.all_of(boots)
         return list(self.instances)
 
-    def _boot_instance(self, instance: DeployedInstance,
-                       processes_per_instance: int) -> Generator:
+    def _boot_instance(self, instance: DeployedInstance, processes_per_instance: int) -> Generator:
         overlay: QcowImage = instance.backend
         hypervisor = self._hypervisor(instance.node_name)
         yield from hypervisor.boot(
@@ -115,8 +118,9 @@ class QcowPVFSDeployment(Deployment):
             image_reader=self._pvfs_boot_reader(instance.instance_id, instance.node_name),
             boot_read_bytes=self.boot_read_bytes,
         )
-        noise = write_boot_noise(instance.vm.filesystem, self.cloud.spec.checkpoint,
-                                 instance.instance_id)
+        noise = write_boot_noise(
+            instance.vm.filesystem, self.cloud.spec.checkpoint, instance.instance_id
+        )
         yield self.cloud.node(instance.node_name).disk.write(
             noise, label=f"boot-noise:{instance.instance_id}"
         )
@@ -126,18 +130,21 @@ class QcowPVFSDeployment(Deployment):
 
     # -- shared snapshot helpers ----------------------------------------------------------------
 
-    def _copy_image_to_pvfs(self, instance: DeployedInstance, overlay: QcowImage,
-                            file_name: str) -> Generator:
+    def _copy_image_to_pvfs(
+        self, instance: DeployedInstance, overlay: QcowImage, file_name: str
+    ) -> Generator:
         """Simulation process: ``cp`` the local qcow2 file into PVFS."""
         node_name = instance.vm.host or instance.node_name
         size = overlay.file_size
         yield self.cloud.node(node_name).disk.read(size, label=f"read-qcow:{file_name}")
-        yield from self.pvfs.write_file(node_name, file_name, size,
-                                        payload=overlay.clone_file(file_name))
+        yield from self.pvfs.write_file(
+            node_name, file_name, size, payload=overlay.clone_file(file_name)
+        )
         return size
 
-    def _fetch_snapshot_image(self, node_name: str, file_name: str,
-                              lazy_bytes: Optional[float] = None) -> Generator:
+    def _fetch_snapshot_image(
+        self, node_name: str, file_name: str, lazy_bytes: Optional[float] = None
+    ) -> Generator:
         """Simulation process: make a stored snapshot image usable on ``node_name``.
 
         ``lazy_bytes`` limits the transfer to the hot content actually needed

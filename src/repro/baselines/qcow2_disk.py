@@ -48,8 +48,9 @@ class Qcow2DiskDeployment(QcowPVFSDeployment):
             restore_paths=restore_paths,
         )
 
-    def restart_instance(self, instance: DeployedInstance, record: CheckpointRecord,
-                         target_node: str) -> Generator:
+    def restart_instance(
+        self, instance: DeployedInstance, record: CheckpointRecord, target_node: str
+    ) -> Generator:
         file_name = record.snapshot_ref
         if not isinstance(file_name, str):
             raise RestartError(f"invalid snapshot reference {file_name!r}")

@@ -48,14 +48,14 @@ class Qcow2FullDeployment(QcowPVFSDeployment):
             restore_paths=[],  # processes resume from RAM, nothing to re-read
         )
 
-    def restart_instance(self, instance: DeployedInstance, record: CheckpointRecord,
-                         target_node: str) -> Generator:
+    def restart_instance(
+        self, instance: DeployedInstance, record: CheckpointRecord, target_node: str
+    ) -> Generator:
         file_name, snapshot_name = record.snapshot_ref
         # The full snapshot (disk content + saved RAM/device state) must be
         # read back before the VM can resume; this is what cancels the
         # benefit of skipping the reboot (Section 4.3.1).
-        overlay = yield from self._fetch_snapshot_image(target_node, file_name,
-                                                        lazy_bytes=None)
+        overlay = yield from self._fetch_snapshot_image(target_node, file_name, lazy_bytes=None)
         if not isinstance(overlay, QcowImage):  # pragma: no cover - defensive
             raise RestartError(f"{file_name} is not a qcow2 image")
         snapshot = overlay.revert_to_internal_snapshot(snapshot_name)

@@ -154,8 +154,9 @@ class BlobClient:
         tag: str = "",
     ) -> WriteResult:
         """Write ``data`` at ``offset`` and publish the result as a new version."""
-        return self.write_batch(blob_id, [(offset, data)], base_version=base_version,
-                                tag=tag or f"write@{offset}")
+        return self.write_batch(
+            blob_id, [(offset, data)], base_version=base_version, tag=tag or f"write@{offset}"
+        )
 
     def write_batch(
         self,
@@ -177,7 +178,9 @@ class BlobClient:
                 raise StorageError(f"negative write offset {offset}")
         info = self.version_manager.get(blob_id)
         chunk_size = info.chunk_size
-        base = self.version_manager.latest(blob_id).version if base_version is None else base_version
+        base = (
+            self.version_manager.latest(blob_id).version if base_version is None else base_version
+        )
         base_record = self.version_manager.record(blob_id, base)
         new_version = info.versions[-1].version + 1
 
@@ -474,8 +477,9 @@ class BlobClient:
         """Total bytes physically stored across all providers (replicas included)."""
         return self.providers.total_used_bytes
 
-    def version_footprint(self, blob_id: int, version: Optional[int] = None, *,
-                          physical: bool = False) -> int:
+    def version_footprint(
+        self, blob_id: int, version: Optional[int] = None, *, physical: bool = False
+    ) -> int:
         """Bytes of unique chunk data referenced by one version.
 
         ``physical=True`` reports the bytes the version's content actually
@@ -500,8 +504,7 @@ class BlobClient:
             total += entry.stored_size if entry is not None else desc.stored_bytes
         return total
 
-    def incremental_footprint(self, blob_id: int, version: int, *,
-                              physical: bool = False) -> int:
+    def incremental_footprint(self, blob_id: int, version: int, *, physical: bool = False) -> int:
         """Bytes of chunk data first introduced by ``version``.
 
         ``physical=True`` reports what the version actually added to provider

@@ -292,8 +292,7 @@ class MetadataStore:
                 total += desc.length
         return total
 
-    def incremental_footprint(self, blob_id: int, version: int, *,
-                              physical: bool = False) -> int:
+    def incremental_footprint(self, blob_id: int, version: int, *, physical: bool = False) -> int:
         """Bytes introduced by ``version`` itself (descriptors it created).
 
         ``physical=True`` reports what the version actually added to the

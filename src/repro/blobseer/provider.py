@@ -200,13 +200,13 @@ class ProviderManager:
         # CRC of the provider id rather than Python's randomized str hash.
         ranked = sorted(
             live,
-            key=lambda p: (p.used_bytes,
-                           (zlib.crc32(p.provider_id.encode()) + tie) % len(live)),
+            key=lambda p: (p.used_bytes, (zlib.crc32(p.provider_id.encode()) + tie) % len(live)),
         )
         return PlacementDecision(key=key, providers=[p.provider_id for p in ranked[:count]])
 
-    def store_replicated(self, chunk: Chunk, placement: Optional[PlacementDecision] = None
-                         ) -> PlacementDecision:
+    def store_replicated(
+        self, chunk: Chunk, placement: Optional[PlacementDecision] = None
+    ) -> PlacementDecision:
         """Store ``chunk`` on the providers chosen by ``placement`` (or pick them)."""
         # Capacity is consumed at the stored (possibly compressed) footprint,
         # so placement must size-check against that, not the logical size.

@@ -71,8 +71,9 @@ class VersionManager:
         if chunk_size <= 0:
             raise StorageError(f"chunk size must be positive: {chunk_size}")
         blob_id = next(self._ids)
-        self._blobs[blob_id] = BlobInfo(blob_id=blob_id, chunk_size=chunk_size,
-                                        cloned_from=cloned_from)
+        self._blobs[blob_id] = BlobInfo(
+            blob_id=blob_id, chunk_size=chunk_size, cloned_from=cloned_from
+        )
         return blob_id
 
     def get(self, blob_id: int) -> BlobInfo:

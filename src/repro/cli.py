@@ -10,6 +10,10 @@ registry-driven parallel runner and prints the resulting tables.
   over N worker processes; results are bit-identical to ``--workers 1``.
 * ``--cells fig2:BlobCR-app:24`` restricts the run to matching cells
   (``--list-cells`` shows the addressable keys).
+* ``--override cluster.compute_nodes=64`` rewrites one field of the
+  simulated cluster; ``--override 'ft.mtbf=300|900'`` replaces one sweep axis
+  of one scenario (``|`` separates sweep points).  ``--seed N`` re-seeds the
+  whole simulation.  Overrides are recorded in the perf artifact.
 * ``--json`` dumps every regenerated table as machine-readable JSON;
   ``--artifact`` writes the schema-versioned perf artifact (per-cell wall and
   simulated times, environment, calibration) the CI benchmark gate consumes.
@@ -31,6 +35,8 @@ from repro.runner import (
     write_artifact,
 )
 from repro.runner.cells import CellResult
+from repro.scenarios.overrides import apply_cluster_overrides, split_overrides
+from repro.util.config import GRAPHENE
 from repro.util.errors import ConfigurationError
 
 
@@ -70,6 +76,22 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
         "--list-cells",
         action="store_true",
         help="list the addressable cell keys of the selected experiments and exit",
+    )
+    parser.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one cluster field (cluster.blobseer.replication=3) or "
+        "one scenario sweep axis ('ft.mtbf=300|900', quoted); repeatable",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="base RNG seed of the simulated cluster (shorthand for "
+        "--override cluster.seed=N)",
     )
     parser.add_argument(
         "--json",
@@ -132,7 +154,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--cells selector(s) outside the requested experiments: {', '.join(outside)}"
         )
 
-    config = RunConfig(paper_scale=args.paper_scale)
+    try:
+        # Validates every override and splits off the cluster-level ones;
+        # scenario-axis overrides are applied at cell-enumeration time.
+        cluster_overrides, scenario_overrides = split_overrides(args.override, names)
+        # An override addressed to a scenario that is not part of this run
+        # would be silently inert (and still recorded in the artifact), so
+        # reject it like any other configuration mistake.
+        misdirected = sorted(
+            {
+                raw.split(".", 1)[0]
+                for raw in scenario_overrides
+                if raw.split(".", 1)[0] not in experiments
+            }
+        )
+        if misdirected:
+            parser.error(
+                "override(s) target experiment(s) not selected for this run: "
+                + ", ".join(misdirected)
+            )
+        cluster_spec = None
+        if cluster_overrides or args.seed is not None:
+            cluster_spec = GRAPHENE
+            if args.seed is not None:
+                cluster_spec = cluster_spec.scaled(seed=args.seed)
+            cluster_spec = apply_cluster_overrides(cluster_spec, cluster_overrides)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    config = RunConfig(
+        paper_scale=args.paper_scale,
+        spec=cluster_spec,
+        overrides=tuple(args.override),
+        seed=args.seed,
+    )
     runner = ParallelRunner(
         workers=args.workers,
         progress=None if args.no_progress else _progress,

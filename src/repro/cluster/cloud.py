@@ -33,13 +33,15 @@ class Cloud:
         self.env = Environment()
         self.network = Network(self.env, self.spec.network)
         self.compute_nodes: List[ComputeNode] = [
-            ComputeNode(self.env, self.network, self.spec.disk, f"node-{i:03d}",
-                        cores=self.spec.vm.vcpus)
+            ComputeNode(
+                self.env, self.network, self.spec.disk, f"node-{i:03d}", cores=self.spec.vm.vcpus
+            )
             for i in range(self.spec.compute_nodes)
         ]
         self.service_nodes: List[ComputeNode] = [
-            ComputeNode(self.env, self.network, self.spec.disk, f"service-{i:02d}",
-                        cores=self.spec.vm.vcpus)
+            ComputeNode(
+                self.env, self.network, self.spec.disk, f"service-{i:02d}", cores=self.spec.vm.vcpus
+            )
             for i in range(self.spec.service_nodes)
         ]
         self._nodes: Dict[str, ComputeNode] = {

@@ -44,8 +44,9 @@ class FailureInjector:
         """Schedule a crash of ``node_name`` at absolute simulated time ``time``."""
         if time < self.cloud.now:
             raise SimulationError(f"cannot schedule a failure in the past ({time})")
-        self.cloud.process(self._fail_later(time - self.cloud.now, node_name),
-                           name=f"fail:{node_name}")
+        self.cloud.process(
+            self._fail_later(time - self.cloud.now, node_name), name=f"fail:{node_name}"
+        )
 
     def fail_random_at(self, time: float, candidates: Optional[Sequence[str]] = None) -> str:
         """Schedule a crash of a random live compute node; returns its name."""
@@ -58,8 +59,9 @@ class FailureInjector:
         self.fail_at(time, victim)
         return victim
 
-    def poisson_failures(self, mtbf: float, horizon: float,
-                         candidates: Optional[Sequence[str]] = None) -> List[float]:
+    def poisson_failures(
+        self, mtbf: float, horizon: float, candidates: Optional[Sequence[str]] = None
+    ) -> List[float]:
         """Schedule failures with exponentially distributed inter-arrival times.
 
         ``mtbf`` is the mean time between failures across the whole candidate

@@ -41,8 +41,13 @@ ImageReader = Callable[[float, str], Event]
 class Hypervisor:
     """Boot/suspend/resume/savevm for the VMs of one compute node."""
 
-    def __init__(self, env: Environment, node: ComputeNode, vm_spec: VMSpec,
-                 jitter: Callable[[float, object], float] = lambda t, _k: t):
+    def __init__(
+        self,
+        env: Environment,
+        node: ComputeNode,
+        vm_spec: VMSpec,
+        jitter: Callable[[float, object], float] = lambda t, _k: t,
+    ):
         self.env = env
         self.node = node
         self.vm_spec = vm_spec
@@ -98,8 +103,9 @@ class Hypervisor:
         yield self.env.timeout(self._jitter(self.vm_spec.resume_time, ("resume", vm.instance_id)))
         vm.resume()
 
-    def resume_from_snapshot(self, vm: VMInstance, disk: BlockDevice,
-                             fs: Optional[GuestFileSystem] = None) -> Generator:
+    def resume_from_snapshot(
+        self, vm: VMInstance, disk: BlockDevice, fs: Optional[GuestFileSystem] = None
+    ) -> Generator:
         """Simulation process: resume a VM directly from a full snapshot.
 
         Used by ``qcow2-full`` restarts: the guest is *not* rebooted, but its

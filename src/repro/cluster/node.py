@@ -91,8 +91,9 @@ class ComputeNode:
     transfer touching the node aborts.
     """
 
-    def __init__(self, env: Environment, network: Network, disk_spec: DiskSpec, name: str,
-                 cores: int = 4):
+    def __init__(
+        self, env: Environment, network: Network, disk_spec: DiskSpec, name: str, cores: int = 4
+    ):
         self.env = env
         self.name = name
         self.cores = cores

@@ -42,8 +42,9 @@ class PVFSFile:
 class PVFSDeployment:
     """PVFS deployed over the cloud's compute nodes."""
 
-    def __init__(self, cloud: Cloud, spec: Optional[PVFSSpec] = None,
-                 metadata_node: Optional[str] = None):
+    def __init__(
+        self, cloud: Cloud, spec: Optional[PVFSSpec] = None, metadata_node: Optional[str] = None
+    ):
         self.cloud = cloud
         self.spec = spec or cloud.spec.pvfs
         self.spec.validate()
@@ -87,8 +88,9 @@ class PVFSDeployment:
 
     # -- data path -----------------------------------------------------------------------
 
-    def write_file(self, client: str, name: str, size: int, payload: Any = None,
-                   overwrite: bool = True) -> Generator:
+    def write_file(
+        self, client: str, name: str, size: int, payload: Any = None, overwrite: bool = True
+    ) -> Generator:
         """Simulation process: store a file of ``size`` bytes from ``client``."""
         if size < 0:
             raise StorageError(f"negative file size: {size}")
@@ -100,15 +102,15 @@ class PVFSDeployment:
         if size > 0:
             # data flows through the client NIC and the switch into the
             # striped server pool (aggregate ingest channel)
-            channels = [self.cloud.network.nic_tx(client), self.cloud.network.switch,
-                        self.write_channel]
+            channels = [
+                self.cloud.network.nic_tx(client), self.cloud.network.switch, self.write_channel
+            ]
             yield self.cloud.network.bandwidth.transfer(
                 size, channels,
                 latency=self.cloud.spec.network.latency + self.spec.rpc_overhead,
                 label=f"pvfs-write:{name}",
             )
-        self._files[name] = PVFSFile(name=name, size=size, payload=payload,
-                                     stripe_count=stripes)
+        self._files[name] = PVFSFile(name=name, size=size, payload=payload, stripe_count=stripes)
         self.bytes_written += size
         return self._files[name]
 
@@ -121,8 +123,9 @@ class PVFSDeployment:
         yield from self._metadata_op(client, count=1)
         nbytes = entry.size if size is None else min(size, entry.size)
         if nbytes > 0:
-            channels = [self.read_channel, self.cloud.network.switch,
-                        self.cloud.network.nic_rx(client)]
+            channels = [
+                self.read_channel, self.cloud.network.switch, self.cloud.network.nic_rx(client)
+            ]
             yield self.cloud.network.bandwidth.transfer(
                 nbytes, channels,
                 latency=self.cloud.spec.network.latency + self.spec.rpc_overhead,

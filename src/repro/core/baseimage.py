@@ -33,16 +33,21 @@ _OS_PATH_TEMPLATES = [
 ]
 
 
-def build_base_image(spec: ClusterSpec, os_bytes: int = DEFAULT_OS_BYTES,
-                     os_files: int = DEFAULT_OS_FILES, label: str = "debian-sid") -> RawImage:
+def build_base_image(
+    spec: ClusterSpec,
+    os_bytes: int = DEFAULT_OS_BYTES,
+    os_files: int = DEFAULT_OS_FILES,
+    label: str = "debian-sid",
+) -> RawImage:
     """Create the raw base image used by every experiment.
 
     The image contains a formatted guest file system with ``os_files``
     synthetic files totalling ``os_bytes``; the content is deterministic for
     a given ``label``.
     """
-    image = RawImage(spec.vm.disk_size, block_size=spec.checkpoint.cow_block_size,
-                     name=f"base:{label}")
+    image = RawImage(
+        spec.vm.disk_size, block_size=spec.checkpoint.cow_block_size, name=f"base:{label}"
+    )
     fs = GuestFileSystem.format(image)
     per_file = max(4096, os_bytes // max(1, os_files))
     for i in range(os_files):

@@ -39,9 +39,14 @@ class BlobCRDeployment(Deployment):
 
     name = "BlobCR"
 
-    def __init__(self, cloud: Cloud, repository: Optional[CheckpointRepository] = None,
-                 base_image: Optional[RawImage] = None, adaptive_prefetch: bool = True,
-                 boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES):
+    def __init__(
+        self,
+        cloud: Cloud,
+        repository: Optional[CheckpointRepository] = None,
+        base_image: Optional[RawImage] = None,
+        adaptive_prefetch: bool = True,
+        boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES,
+    ):
         super().__init__(cloud)
         self.repository = repository or CheckpointRepository(cloud)
         self._base_image = base_image
@@ -140,8 +145,7 @@ class BlobCRDeployment(Deployment):
         yield self.cloud.env.all_of(boots)
         return list(self.instances)
 
-    def _boot_instance(self, instance: DeployedInstance,
-                       processes_per_instance: int) -> Generator:
+    def _boot_instance(self, instance: DeployedInstance, processes_per_instance: int) -> Generator:
         mirroring: MirroringModule = instance.backend
         hypervisor = self._hypervisor(instance.node_name)
         yield from hypervisor.boot(
@@ -149,8 +153,9 @@ class BlobCRDeployment(Deployment):
             image_reader=self._image_reader(instance.instance_id, mirroring),
             boot_read_bytes=self.boot_read_bytes,
         )
-        noise = write_boot_noise(instance.vm.filesystem, self.cloud.spec.checkpoint,
-                                 instance.instance_id)
+        noise = write_boot_noise(
+            instance.vm.filesystem, self.cloud.spec.checkpoint, instance.instance_id
+        )
         yield self.cloud.node(instance.node_name).disk.write(
             noise, label=f"boot-noise:{instance.instance_id}"
         )
@@ -176,8 +181,9 @@ class BlobCRDeployment(Deployment):
             restore_paths=restore_paths,
         )
 
-    def restart_instance(self, instance: DeployedInstance, record: CheckpointRecord,
-                         target_node: str) -> Generator:
+    def restart_instance(
+        self, instance: DeployedInstance, record: CheckpointRecord, target_node: str
+    ) -> Generator:
         blob_id, version = record.snapshot_ref
         if blob_id is None:
             raise RestartError(f"no checkpoint image recorded for {instance.instance_id}")
@@ -212,15 +218,14 @@ class BlobCRDeployment(Deployment):
     def storage_used_bytes(self) -> int:
         return self.repository.total_stored_bytes
 
-    # -- additional BlobCR-specific facilities -------------------------------------------------------
+    # -- additional BlobCR-specific facilities -----------------------------------------------------
 
     def snapshot_size(self, record: CheckpointRecord) -> int:
         """Incremental size of one snapshot (what Figure 4 / Table 1 report)."""
         blob_id, version = record.snapshot_ref
         return self.repository.snapshot_incremental_size(blob_id, version)
 
-    def download_checkpoint_image(self, client_node: str, record: CheckpointRecord
-                                  ) -> Generator:
+    def download_checkpoint_image(self, client_node: str, record: CheckpointRecord) -> Generator:
         """Simulation process: download a checkpoint snapshot as a standalone image.
 
         Thanks to shadowing and cloning, checkpoint images are fully fledged
@@ -228,6 +233,7 @@ class BlobCRDeployment(Deployment):
         """
         blob_id, version = record.snapshot_ref
         size = self.repository.client.size(blob_id, version)
-        data = yield from self.repository.read_range(client_node, blob_id, 0, size,
-                                                     version=version, label="download")
+        data = yield from self.repository.read_range(
+            client_node, blob_id, 0, size, version=version, label="download"
+        )
         return data

@@ -20,8 +20,14 @@ from repro.vdisk.blockdev import BlockDevice
 class RemoteBlobDevice(BlockDevice):
     """Expose one published BLOB version as a read-only block device."""
 
-    def __init__(self, client: BlobClient, blob_id: int, version: Optional[int] = None,
-                 size: Optional[int] = None, name: str = ""):
+    def __init__(
+        self,
+        client: BlobClient,
+        blob_id: int,
+        version: Optional[int] = None,
+        size: Optional[int] = None,
+        name: str = "",
+    ):
         self._client = client
         self.blob_id = blob_id
         self.version = client.latest_version(blob_id) if version is None else version

@@ -64,8 +64,11 @@ class SnapshotGarbageCollector:
                 report.deleted_chunks += 1
                 report.reclaimed_bytes += chunk.footprint
 
-    def collect(self, blob_ids: Optional[Iterable[int]] = None,
-                pinned: Optional[Dict[int, Iterable[int]]] = None) -> GCReport:
+    def collect(
+        self,
+        blob_ids: Optional[Iterable[int]] = None,
+        pinned: Optional[Dict[int, Iterable[int]]] = None,
+    ) -> GCReport:
         """Collect obsoleted versions of the given BLOBs (all BLOBs by default).
 
         ``pinned`` maps blob id to version numbers that must be retained even

@@ -56,8 +56,9 @@ class MirroringModule(BlockDevice):
             repository.client, base_blob_id, version=base_version, size=size,
             name=f"{instance_id}.base",
         )
-        self._local = SparseDevice(size, block_size=self.spec.cow_block_size,
-                                   base=self.remote, name=f"{instance_id}.cow")
+        self._local = SparseDevice(
+            size, block_size=self.spec.cow_block_size, base=self.remote, name=f"{instance_id}.cow"
+        )
         self.dirty = DirtyTracker(self.spec.cow_block_size)
         #: the checkpoint image (created by the first CLONE, or inherited when
         #: the instance was re-deployed from an earlier checkpoint image)

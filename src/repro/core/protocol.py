@@ -79,8 +79,9 @@ class CoordinatedCheckpoint:
         yield from self.deployment.guest_sync(instance)
         return total
 
-    def checkpoint_instance(self, instance: DeployedInstance, total_processes: int,
-                            tag: str = "") -> Generator:
+    def checkpoint_instance(
+        self, instance: DeployedInstance, total_processes: int, tag: str = ""
+    ) -> Generator:
         """Simulation process: full process-level checkpoint of one instance.
 
         Drain (coordinated across the whole application), BLCR dumps, sync,
@@ -91,8 +92,9 @@ class CoordinatedCheckpoint:
         record = yield from self.deployment.checkpoint_instance(instance, tag=tag)
         return record
 
-    def global_checkpoint(self, instances: Optional[List[DeployedInstance]] = None,
-                          tag: str = "blcr") -> Generator:
+    def global_checkpoint(
+        self, instances: Optional[List[DeployedInstance]] = None, tag: str = "blcr"
+    ) -> Generator:
         """Simulation process: coordinated process-level checkpoint of the application."""
         targets = instances if instances is not None else self.deployment.instances
         if not targets:
@@ -101,11 +103,12 @@ class CoordinatedCheckpoint:
         # Stage 1 runs concurrently on every instance after a common drain.
         yield from self.drain_channels(max(1, total_processes))
         dumps = [
-            self.cloud.process(self.dump_instance_processes(inst),
-                               name=f"blcr-dump:{inst.instance_id}")
+            self.cloud.process(
+                self.dump_instance_processes(inst), name=f"blcr-dump:{inst.instance_id}"
+            )
             for inst in targets
         ]
-        yield self.cloud.env.all_of(dumps)
+        yield from self.deployment.await_all(dumps)
         # Stage 2: disk snapshots through the per-node proxies.
         checkpoint: GlobalCheckpoint = yield from self.deployment.checkpoint_all(
             tag=tag, instances=targets

@@ -50,8 +50,9 @@ class CheckpointProxy:
                 f"hosted on {vm.host}"
             )
 
-    def handle_request(self, vm: VMInstance, mirroring: MirroringModule,
-                       tag: str = "") -> Generator:
+    def handle_request(
+        self, vm: VMInstance, mirroring: MirroringModule, tag: str = ""
+    ) -> Generator:
         """Simulation process: serve one checkpoint request.
 
         Implements the four proxy steps of Section 3.3: suspend, CLONE if

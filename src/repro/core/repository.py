@@ -39,8 +39,9 @@ class CheckpointRepository:
             node.on_failure(lambda failed, p=provider: p.fail())
         # Content-addressed dedup + compression layer (None when disabled).
         self.dedup = build_engine(self.spec.dedup)
-        self.client = BlobClient(providers=providers, default_chunk_size=self.spec.chunk_size,
-                                 dedup=self.dedup)
+        self.client = BlobClient(
+            providers=providers, default_chunk_size=self.spec.chunk_size, dedup=self.dedup
+        )
         # Service placement: version manager and provider manager on the
         # first two service nodes, metadata providers on the rest.
         service_names = [n.name for n in cloud.service_nodes] or [cloud.compute_nodes[0].name]
@@ -66,8 +67,9 @@ class CheckpointRepository:
     # -- timing helpers -------------------------------------------------------------------
 
     def _data_write(self, client_node: str, nbytes: float, label: str):
-        channels = [self.cloud.network.nic_tx(client_node), self.cloud.network.switch,
-                    self.ingest_channel]
+        channels = [
+            self.cloud.network.nic_tx(client_node), self.cloud.network.switch, self.ingest_channel
+        ]
         return self.cloud.network.bandwidth.transfer(
             nbytes, channels,
             latency=self.cloud.spec.network.latency + self.spec.rpc_overhead,
@@ -75,8 +77,9 @@ class CheckpointRepository:
         )
 
     def _data_read(self, client_node: str, nbytes: float, label: str):
-        channels = [self.egress_channel, self.cloud.network.switch,
-                    self.cloud.network.nic_rx(client_node)]
+        channels = [
+            self.egress_channel, self.cloud.network.switch, self.cloud.network.nic_rx(client_node)
+        ]
         return self.cloud.network.bandwidth.transfer(
             nbytes, channels,
             latency=self.cloud.spec.network.latency + self.spec.rpc_overhead,
@@ -91,13 +94,16 @@ class CheckpointRepository:
         deployment width.
         """
         per_node = self.spec.metadata_per_chunk * max(1, metadata_nodes)
-        return per_node / max(1, self.spec.metadata_providers) + \
-            self.spec.rpc_overhead * max(1, chunk_count) / max(1, self.spec.metadata_providers)
+        return (
+            per_node / max(1, self.spec.metadata_providers)
+            + self.spec.rpc_overhead * max(1, chunk_count) / max(1, self.spec.metadata_providers)
+        )
 
     # -- image / checkpoint operations -----------------------------------------------------
 
-    def upload_base_image(self, client_node: str, image: RawImage, tag: str = "base-image"
-                          ) -> Generator:
+    def upload_base_image(
+        self, client_node: str, image: RawImage, tag: str = "base-image"
+    ) -> Generator:
         """Simulation process: store a raw base image as a new BLOB.
 
         Only the allocated (non-hole) content is shipped; the BLOB's logical
@@ -111,8 +117,9 @@ class CheckpointRepository:
                 pieces.append((index * image.block_size, payload))
         result = self.client.write_batch(blob_id, pieces, tag=tag) if pieces else None
         nbytes = result.bytes_written if result else 0
-        yield self.cloud.network.message(client_node, self.version_manager_node,
-                                         label="create-blob")
+        yield self.cloud.network.message(
+            client_node, self.version_manager_node, label="create-blob"
+        )
         if result and result.compression_cpu_seconds:
             yield self.cloud.env.timeout(result.compression_cpu_seconds)
         if nbytes:
@@ -121,15 +128,15 @@ class CheckpointRepository:
             # Dedup-hit stripes still publish a descriptor + alias record, so
             # they count toward the metadata RPCs even though no data shipped.
             yield self.cloud.env.timeout(
-                self._metadata_time(len(result.chunks) + result.dedup_hits,
-                                    result.metadata_nodes)
+                self._metadata_time(len(result.chunks) + result.dedup_hits, result.metadata_nodes)
             )
             self.logical_bytes_committed += result.logical_bytes
         self.bytes_committed += nbytes
         return blob_id
 
-    def clone_image(self, client_node: str, blob_id: int, version: Optional[int] = None,
-                    tag: str = "") -> Generator:
+    def clone_image(
+        self, client_node: str, blob_id: int, version: Optional[int] = None, tag: str = ""
+    ) -> Generator:
         """Simulation process: CLONE -- derive a checkpoint image from a base image."""
         new_blob = self.client.clone(blob_id, version=version, tag=tag)
         # Cloning only touches the version manager and shares all metadata.
@@ -161,8 +168,9 @@ class CheckpointRepository:
             # Fingerprinting + compression runs on the committing node's CPU.
             yield self.cloud.env.timeout(result.compression_cpu_seconds)
         if result.bytes_written:
-            yield self._data_write(client_node, result.bytes_written,
-                                   label=f"commit:{blob_id}@{result.version}")
+            yield self._data_write(
+                client_node, result.bytes_written, label=f"commit:{blob_id}@{result.version}"
+            )
         yield self.cloud.env.timeout(self._metadata_time(
             len(result.chunks) + result.dedup_hits, result.metadata_nodes))
         self.bytes_committed += result.bytes_written
@@ -170,8 +178,15 @@ class CheckpointRepository:
         self.commit_count += 1
         return result
 
-    def read_range(self, client_node: str, blob_id: int, offset: int, size: int,
-                   version: Optional[int] = None, label: str = "") -> Generator:
+    def read_range(
+        self,
+        client_node: str,
+        blob_id: int,
+        offset: int,
+        size: int,
+        version: Optional[int] = None,
+        label: str = "",
+    ) -> Generator:
         """Simulation process: read a byte range of a snapshot on ``client_node``."""
         data = self.client.read(blob_id, offset, size, version=version)
         yield self.cloud.network.message(client_node, self.version_manager_node, label="read")
@@ -184,16 +199,16 @@ class CheckpointRepository:
                 # nothing on either axis.
                 physical, inflatable = self._read_window_cost(blob_id, offset, size, version)
                 if physical > 0:
-                    yield self._data_read(client_node, physical,
-                                          label=label or f"read:{blob_id}")
+                    yield self._data_read(client_node, physical, label=label or f"read:{blob_id}")
                 cpu = self.dedup.codec.decompress_seconds(inflatable)
                 if cpu > 0:
                     yield self.cloud.env.timeout(cpu)
         self.bytes_served += size
         return data
 
-    def _read_window_cost(self, blob_id: int, offset: int, size: int,
-                          version: Optional[int]) -> Tuple[float, int]:
+    def _read_window_cost(
+        self, blob_id: int, offset: int, size: int, version: Optional[int]
+    ) -> Tuple[float, int]:
         """(physical bytes to transfer, logical bytes to inflate) for a read.
 
         Only meaningful with the dedup layer on: stored chunks are shipped at
@@ -229,8 +244,9 @@ class CheckpointRepository:
 
     # -- accounting -------------------------------------------------------------------------
 
-    def snapshot_incremental_size(self, blob_id: int, version: int, *,
-                                  physical: bool = False) -> int:
+    def snapshot_incremental_size(
+        self, blob_id: int, version: int, *, physical: bool = False
+    ) -> int:
         """Bytes of new data introduced by one snapshot (Figure 4 / Table 1).
 
         The default reports the *logical* size (what the paper measures);
@@ -239,8 +255,9 @@ class CheckpointRepository:
         """
         return self.client.incremental_footprint(blob_id, version, physical=physical)
 
-    def snapshot_full_size(self, blob_id: int, version: Optional[int] = None, *,
-                           physical: bool = False) -> int:
+    def snapshot_full_size(
+        self, blob_id: int, version: Optional[int] = None, *, physical: bool = False
+    ) -> int:
         """Bytes of unique data referenced by one snapshot."""
         return self.client.version_footprint(blob_id, version, physical=physical)
 

@@ -122,8 +122,9 @@ class Deployment(abc.ABC):
         """Simulation process: snapshot one instance; returns a CheckpointRecord."""
 
     @abc.abstractmethod
-    def restart_instance(self, instance: DeployedInstance, record: CheckpointRecord,
-                         target_node: str) -> Generator:
+    def restart_instance(
+        self, instance: DeployedInstance, record: CheckpointRecord, target_node: str
+    ) -> Generator:
         """Simulation process: re-deploy one instance from its snapshot on ``target_node``."""
 
     @abc.abstractmethod
@@ -138,8 +139,9 @@ class Deployment(abc.ABC):
                 return instance
         raise CheckpointError(f"unknown instance {instance_id}")
 
-    def checkpoint_all(self, tag: str = "", instances: Optional[List[DeployedInstance]] = None
-                       ) -> Generator:
+    def checkpoint_all(
+        self, tag: str = "", instances: Optional[List[DeployedInstance]] = None
+    ) -> Generator:
         """Simulation process: take a global checkpoint of all (or some) instances.
 
         Per-instance snapshots proceed concurrently; the global checkpoint
@@ -159,9 +161,8 @@ class Deployment(abc.ABC):
             )
             for inst in targets
         ]
-        results = yield self.cloud.env.all_of(procs)
-        checkpoint = GlobalCheckpoint(index=index, started_at=started,
-                                      finished_at=self.cloud.now)
+        results = yield from self.await_all(procs)
+        checkpoint = GlobalCheckpoint(index=index, started_at=started, finished_at=self.cloud.now)
         for proc in procs:
             record: CheckpointRecord = results[proc]
             checkpoint.records[record.instance_id] = record
@@ -191,8 +192,9 @@ class Deployment(abc.ABC):
             mapping[instance.instance_id] = candidates[(i + offset) % len(candidates)]
         return mapping
 
-    def restart_all(self, checkpoint: GlobalCheckpoint,
-                    target_nodes: Optional[Dict[str, str]] = None) -> Generator:
+    def restart_all(
+        self, checkpoint: GlobalCheckpoint, target_nodes: Optional[Dict[str, str]] = None
+    ) -> Generator:
         """Simulation process: kill everything and restart from ``checkpoint``.
 
         Completion time spans from the beginning of re-deployment until every
@@ -216,7 +218,7 @@ class Deployment(abc.ABC):
                 self.restart_instance(instance, record, target),
                 name=f"restart:{instance.instance_id}",
             ))
-        results = yield self.cloud.env.all_of(procs)
+        results = yield from self.await_all(procs)
         report = RestartReport(started_at=started, finished_at=self.cloud.now)
         for proc in procs:
             restored = results[proc] or 0
@@ -225,6 +227,23 @@ class Deployment(abc.ABC):
         return report
 
     # -- common helpers for subclasses ------------------------------------------------------------
+
+    def await_all(self, procs) -> Generator:
+        """Simulation process: wait for all ``procs``; on failure, interrupt
+        the survivors before propagating.
+
+        Without the interrupt, a fail-stop error aborting one per-instance
+        snapshot/restart would leave its siblings running in the background
+        -- and a later rollback's fresh boot could then race against a stale
+        resume of the same VM.  Fault-free runs never take this path.
+        """
+        try:
+            results = yield self.cloud.env.all_of(procs)
+        except BaseException:
+            for proc in procs:
+                proc.interrupt("global phase aborted")  # no-op when finished
+            raise
+        return results
 
     def _place_instances(self, count: int) -> List[str]:
         nodes = self.cloud.live_compute_nodes()
@@ -245,16 +264,18 @@ class Deployment(abc.ABC):
         fs = instance.filesystem
         synced = fs.sync()
         spec = self.cloud.spec.checkpoint
-        yield self.cloud.env.timeout(self.cloud.jittered(spec.sync_overhead,
-                                                         ("sync", instance.instance_id)))
+        yield self.cloud.env.timeout(
+            self.cloud.jittered(spec.sync_overhead, ("sync", instance.instance_id))
+        )
         if synced > 0:
             yield self.cloud.node(instance.vm.host or instance.node_name).disk.write(
                 synced, label=f"guest-sync:{instance.instance_id}"
             )
         return synced
 
-    def guest_write_and_sync(self, instance: DeployedInstance, path: str,
-                             data: ByteSource, append: bool = False) -> Generator:
+    def guest_write_and_sync(
+        self, instance: DeployedInstance, path: str, data: ByteSource, append: bool = False
+    ) -> Generator:
         """Simulation process: write a guest file, ``sync``, charge the local I/O.
 
         This is "stage 1" of the two-stage checkpoint: getting process state

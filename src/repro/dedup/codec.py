@@ -99,10 +99,12 @@ class SimulatedCodec(StorageCodec):
 
 #: default calibrations, overridable through :class:`repro.util.config.DedupSpec`
 _CODEC_DEFAULTS: Dict[str, SimulatedCodec] = {
-    "zlib": SimulatedCodec("zlib", ratio=2.6,
-                           compress_bandwidth=45 * MB, decompress_bandwidth=220 * MB),
-    "lz4": SimulatedCodec("lz4", ratio=1.8,
-                          compress_bandwidth=420 * MB, decompress_bandwidth=1800 * MB),
+    "zlib": SimulatedCodec(
+        "zlib", ratio=2.6, compress_bandwidth=45 * MB, decompress_bandwidth=220 * MB
+    ),
+    "lz4": SimulatedCodec(
+        "lz4", ratio=1.8, compress_bandwidth=420 * MB, decompress_bandwidth=1800 * MB
+    ),
 }
 
 

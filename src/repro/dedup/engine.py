@@ -48,8 +48,7 @@ class IngestDecision:
 class DedupEngine:
     """Content-addressed dedup + compression policy for a chunk store."""
 
-    def __init__(self, codec: Optional[StorageCodec] = None,
-                 fingerprint_bandwidth: float = 0.0):
+    def __init__(self, codec: Optional[StorageCodec] = None, fingerprint_bandwidth: float = 0.0):
         self.codec = codec or make_codec("identity")
         #: bytes/s of BLAKE2b hashing charged as CPU time (0 disables charging)
         self.fingerprint_bandwidth = fingerprint_bandwidth

@@ -7,8 +7,9 @@ from the saved files.  The reported time spans re-deployment through the last
 successful state restoration.
 
 Each (approach, scale-point, buffer-size) triple is one independent runner
-cell (``fig3:<approach>:<hosts>:<buffer>MB``); :func:`run_fig3` remains as a
-thin sequential wrapper over the same cells.
+cell (``fig3:<approach>:<hosts>:<buffer>MB``), declared as a
+:class:`~repro.scenarios.spec.ScenarioSpec` sweep; :func:`run_fig3` remains
+as a thin sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
@@ -21,14 +22,44 @@ from repro.experiments.harness import (
     PAPER_BUFFER_SIZES,
     PAPER_SCALE_POINTS,
     ExperimentResult,
-    merge_approach_cells,
+    format_mb,
     run_synthetic_cell,
 )
-from repro.runner.cells import Cell, CellResult, run_cells_inline
-from repro.runner.registry import ExperimentSpec, RunConfig, register
+from repro.runner.cells import Cell, run_cells_inline
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.spec import Axis, ScenarioSpec, approach_matrix
 from repro.util.config import ClusterSpec
 
 _DESCRIPTION = "restart completion time vs number of hosts (s)"
+
+#: merge executed fig3 cells back into the paper's row layout
+merge_fig3 = approach_matrix(
+    "fig3",
+    _DESCRIPTION,
+    row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6, "hosts": p["instances"]},
+    value=lambda p: p["restart_time"],
+)
+
+SCENARIO = ScenarioSpec(
+    name="fig3",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("buffer_bytes", PAPER_BUFFER_SIZES, fmt=format_mb),
+        Axis("instances", BENCH_SCALE_POINTS, paper_values=PAPER_SCALE_POINTS),
+        Axis("approach", APPROACHES),
+    ),
+    key_axes=("approach", "instances", "buffer_bytes"),
+    cell_func=run_synthetic_cell,
+    cell_params=lambda point: {
+        "approach": point["approach"],
+        "instances": point["instances"],
+        "buffer_bytes": point["buffer_bytes"],
+        "include_restart": True,
+    },
+    merge=merge_fig3,
+)
+
+SPEC = register_scenario(SCENARIO)
 
 
 def fig3_cells(
@@ -38,51 +69,9 @@ def fig3_cells(
     spec: Optional[ClusterSpec] = None,
 ) -> List[Cell]:
     """Enumerate the independent cells of Figure 3 in canonical order."""
-    cells: List[Cell] = []
-    for buffer_bytes in buffer_sizes:
-        for instances in scale_points:
-            for approach in approaches:
-                cells.append(
-                    Cell(
-                        experiment="fig3",
-                        parts=(approach, str(instances), f"{buffer_bytes // 10**6}MB"),
-                        func=run_synthetic_cell,
-                        params={
-                            "approach": approach,
-                            "instances": instances,
-                            "buffer_bytes": buffer_bytes,
-                            "spec": spec,
-                            "include_restart": True,
-                        },
-                    )
-                )
-    return cells
-
-
-def merge_fig3(results: Sequence[CellResult]) -> ExperimentResult:
-    """Merge executed fig3 cells back into the paper's row layout."""
-    return merge_approach_cells(
-        "fig3",
-        _DESCRIPTION,
-        results,
-        row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6, "hosts": p["instances"]},
-        value=lambda p: p["restart_time"],
-    )
-
-
-def _enumerate(config: RunConfig) -> List[Cell]:
-    scale = PAPER_SCALE_POINTS if config.paper_scale else BENCH_SCALE_POINTS
-    return fig3_cells(scale_points=scale, spec=config.spec)
-
-
-SPEC = register(
-    ExperimentSpec(
-        name="fig3",
-        description=_DESCRIPTION,
-        enumerate_cells=_enumerate,
-        merge=merge_fig3,
-    )
-)
+    return SCENARIO.with_axis_values(
+        buffer_bytes=buffer_sizes, instances=scale_points, approach=approaches
+    ).build_cells(cluster_spec=spec)
 
 
 def run_fig3(

@@ -7,8 +7,9 @@ full VM snapshot additionally carries the whole RAM / device state.  Sizes
 are measured from the storage layer, not assumed.
 
 Each (approach, buffer-size) pair is one independent runner cell
-(``fig4:<approach>:<buffer>MB``); :func:`run_fig4` remains as a thin
-sequential wrapper over the same cells.
+(``fig4:<approach>:<buffer>MB``), declared as a
+:class:`~repro.scenarios.spec.ScenarioSpec` sweep; :func:`run_fig4` remains
+as a thin sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
@@ -19,14 +20,46 @@ from repro.experiments.harness import (
     APPROACHES,
     PAPER_BUFFER_SIZES,
     ExperimentResult,
-    merge_approach_cells,
+    format_mb,
     run_synthetic_cell,
 )
-from repro.runner.cells import Cell, CellResult, run_cells_inline
-from repro.runner.registry import ExperimentSpec, RunConfig, register
+from repro.runner.cells import Cell, run_cells_inline
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.spec import Axis, ScenarioSpec, approach_matrix
 from repro.util.config import ClusterSpec
 
 _DESCRIPTION = "checkpoint space utilisation per VM instance (MB)"
+
+#: merge executed fig4 cells back into the paper's row layout
+merge_fig4 = approach_matrix(
+    "fig4",
+    _DESCRIPTION,
+    row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6},
+    value=lambda p: round(p["snapshot_bytes_per_instance"] / 10**6, 1),
+)
+
+SCENARIO = ScenarioSpec(
+    name="fig4",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("buffer_bytes", PAPER_BUFFER_SIZES, fmt=format_mb),
+        Axis("approach", APPROACHES),
+        # Fixed parameter modelled as a single-value axis so wrappers and a
+        # single-value ``--override fig4.instances=N`` can still change it.
+        Axis("instances", (2,)),
+    ),
+    key_axes=("approach", "buffer_bytes"),
+    cell_func=run_synthetic_cell,
+    cell_params=lambda point: {
+        "approach": point["approach"],
+        "instances": point["instances"],
+        "buffer_bytes": point["buffer_bytes"],
+        "include_restart": False,
+    },
+    merge=merge_fig4,
+)
+
+SPEC = register_scenario(SCENARIO)
 
 
 def fig4_cells(
@@ -36,49 +69,9 @@ def fig4_cells(
     spec: Optional[ClusterSpec] = None,
 ) -> List[Cell]:
     """Enumerate the independent cells of Figure 4 in canonical order."""
-    cells: List[Cell] = []
-    for buffer_bytes in buffer_sizes:
-        for approach in approaches:
-            cells.append(
-                Cell(
-                    experiment="fig4",
-                    parts=(approach, f"{buffer_bytes // 10**6}MB"),
-                    func=run_synthetic_cell,
-                    params={
-                        "approach": approach,
-                        "instances": instances,
-                        "buffer_bytes": buffer_bytes,
-                        "spec": spec,
-                        "include_restart": False,
-                    },
-                )
-            )
-    return cells
-
-
-def merge_fig4(results: Sequence[CellResult]) -> ExperimentResult:
-    """Merge executed fig4 cells back into the paper's row layout."""
-    return merge_approach_cells(
-        "fig4",
-        _DESCRIPTION,
-        results,
-        row_key=lambda p: {"buffer_MB": p["buffer_bytes"] // 10**6},
-        value=lambda p: round(p["snapshot_bytes_per_instance"] / 10**6, 1),
-    )
-
-
-def _enumerate(config: RunConfig) -> List[Cell]:
-    return fig4_cells(spec=config.spec)
-
-
-SPEC = register(
-    ExperimentSpec(
-        name="fig4",
-        description=_DESCRIPTION,
-        enumerate_cells=_enumerate,
-        merge=merge_fig4,
-    )
-)
+    return SCENARIO.with_axis_values(
+        buffer_bytes=buffer_sizes, approach=approaches, instances=(instances,)
+    ).build_cells(cluster_spec=spec)
 
 
 def run_fig4(

@@ -25,38 +25,12 @@ from repro.experiments.harness import (
     run_synthetic_cell,
 )
 from repro.runner.cells import Cell, CellResult, run_cells_inline
-from repro.runner.registry import ExperimentSpec, RunConfig, register
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.spec import Axis, ScenarioSpec
 from repro.util.config import ClusterSpec
 from repro.util.units import MB
 
 _DESCRIPTION = "successive checkpoints of one VM: completion time (s) and storage (MB)"
-
-
-def fig5_cells(
-    checkpoints: int = 4,
-    buffer_bytes: int = 200 * MB,
-    approaches: Sequence[str] = APPROACHES,
-    spec: Optional[ClusterSpec] = None,
-) -> List[Cell]:
-    """Enumerate the independent cells of Figure 5 (one per approach)."""
-    cells: List[Cell] = []
-    for approach in approaches:
-        cells.append(
-            Cell(
-                experiment="fig5",
-                parts=(approach,),
-                func=run_synthetic_cell,
-                params={
-                    "approach": approach,
-                    "instances": 1,
-                    "buffer_bytes": buffer_bytes,
-                    "spec": spec,
-                    "include_restart": False,
-                    "checkpoints": checkpoints,
-                },
-            )
-        )
-    return cells
 
 
 def merge_fig5(results: Sequence[CellResult]) -> ExperimentResult:
@@ -78,18 +52,39 @@ def merge_fig5(results: Sequence[CellResult]) -> ExperimentResult:
     return result
 
 
-def _enumerate(config: RunConfig) -> List[Cell]:
-    return fig5_cells(spec=config.spec)
-
-
-SPEC = register(
-    ExperimentSpec(
-        name="fig5",
-        description=_DESCRIPTION,
-        enumerate_cells=_enumerate,
-        merge=merge_fig5,
-    )
+SCENARIO = ScenarioSpec(
+    name="fig5",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("approach", APPROACHES),
+        Axis("checkpoints", (4,)),
+        Axis("buffer_bytes", (200 * MB,)),
+    ),
+    key_axes=("approach",),
+    cell_func=run_synthetic_cell,
+    cell_params=lambda point: {
+        "approach": point["approach"],
+        "instances": 1,
+        "buffer_bytes": point["buffer_bytes"],
+        "include_restart": False,
+        "checkpoints": point["checkpoints"],
+    },
+    merge=merge_fig5,
 )
+
+SPEC = register_scenario(SCENARIO)
+
+
+def fig5_cells(
+    checkpoints: int = 4,
+    buffer_bytes: int = 200 * MB,
+    approaches: Sequence[str] = APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Figure 5 (one per approach)."""
+    return SCENARIO.with_axis_values(
+        approach=approaches, checkpoints=(checkpoints,), buffer_bytes=(buffer_bytes,)
+    ).build_cells(cluster_spec=spec)
 
 
 def run_fig5(

@@ -6,8 +6,9 @@ checkpoint is taken after a period of execution.  The paper omits
 ``qcow2-full`` (its snapshots grow unacceptably large).
 
 Each (approach, process-count) pair is one independent runner cell
-(``fig6:<approach>:<processes>``); :func:`run_fig6` remains as a thin
-sequential wrapper over the same cells.
+(``fig6:<approach>:<processes>``), declared as a
+:class:`~repro.scenarios.spec.ScenarioSpec` sweep; :func:`run_fig6` remains
+as a thin sequential wrapper over the same cells.
 """
 
 from __future__ import annotations
@@ -19,11 +20,11 @@ from repro.experiments.harness import (
     CM1_APPROACHES,
     ExperimentResult,
     make_deployment,
-    merge_approach_cells,
     split_approach,
 )
-from repro.runner.cells import Cell, CellResult, run_cells_inline
-from repro.runner.registry import ExperimentSpec, RunConfig, register
+from repro.runner.cells import Cell, run_cells_inline
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.spec import Axis, ScenarioSpec, approach_matrix
 from repro.util.config import GRAPHENE, ClusterSpec
 
 #: process counts of the paper's Figure 6 (4 processes per VM)
@@ -100,6 +101,34 @@ def run_cm1_cell(
     }
 
 
+#: merge executed fig6 cells back into the paper's row layout
+merge_fig6 = approach_matrix(
+    "fig6",
+    _DESCRIPTION,
+    row_key=lambda p: {"processes": p["processes"]},
+    value=lambda p: p["duration"],
+)
+
+SCENARIO = ScenarioSpec(
+    name="fig6",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("processes", BENCH_CM1_PROCESSES, paper_values=PAPER_CM1_PROCESSES),
+        Axis("approach", CM1_APPROACHES),
+    ),
+    key_axes=("approach", "processes"),
+    cell_func=run_cm1_cell,
+    cell_params=lambda point: {
+        "approach": point["approach"],
+        "processes": point["processes"],
+        "config": None,
+    },
+    merge=merge_fig6,
+)
+
+SPEC = register_scenario(SCENARIO)
+
+
 def fig6_cells(
     process_counts: Sequence[int] = BENCH_CM1_PROCESSES,
     approaches: Sequence[str] = CM1_APPROACHES,
@@ -107,49 +136,9 @@ def fig6_cells(
     config: Optional[CM1Config] = None,
 ) -> List[Cell]:
     """Enumerate the independent cells of Figure 6 in canonical order."""
-    cells: List[Cell] = []
-    for processes in process_counts:
-        for approach in approaches:
-            cells.append(
-                Cell(
-                    experiment="fig6",
-                    parts=(approach, str(processes)),
-                    func=run_cm1_cell,
-                    params={
-                        "approach": approach,
-                        "processes": processes,
-                        "spec": spec,
-                        "config": config,
-                    },
-                )
-            )
-    return cells
-
-
-def merge_fig6(results: Sequence[CellResult]) -> ExperimentResult:
-    """Merge executed fig6 cells back into the paper's row layout."""
-    return merge_approach_cells(
-        "fig6",
-        _DESCRIPTION,
-        results,
-        row_key=lambda p: {"processes": p["processes"]},
-        value=lambda p: p["duration"],
-    )
-
-
-def _enumerate(config: RunConfig) -> List[Cell]:
-    counts = PAPER_CM1_PROCESSES if config.paper_scale else BENCH_CM1_PROCESSES
-    return fig6_cells(process_counts=counts, spec=config.spec)
-
-
-SPEC = register(
-    ExperimentSpec(
-        name="fig6",
-        description=_DESCRIPTION,
-        enumerate_cells=_enumerate,
-        merge=merge_fig6,
-    )
-)
+    return SCENARIO.with_axis_values(
+        processes=process_counts, approach=approaches
+    ).build_cells(cluster_spec=spec, params_override={"config": config} if config else None)
 
 
 def run_fig6(

@@ -31,7 +31,8 @@ from repro.cluster.cloud import Cloud
 from repro.core.repository import CheckpointRepository
 from repro.experiments.harness import ExperimentResult
 from repro.runner.cells import Cell, CellResult, run_cells_inline
-from repro.runner.registry import ExperimentSpec, RunConfig, register
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.spec import Axis, ScenarioSpec
 from repro.util.bytesource import ByteSource, SyntheticBytes
 from repro.util.config import GRAPHENE, ClusterSpec, DedupSpec
 from repro.util.units import MB
@@ -162,23 +163,12 @@ def fig7_cells(
     spec: Optional[ClusterSpec] = None,
 ) -> List[Cell]:
     """Enumerate the independent cells of the ablation (one per mode)."""
-    cells: List[Cell] = []
-    for mode in modes:
-        cells.append(
-            Cell(
-                experiment="fig7",
-                parts=(mode,),
-                func=run_fig7_cell,
-                params={
-                    "mode": mode,
-                    "checkpoints": checkpoints,
-                    "state_bytes": state_bytes,
-                    "changed_fraction": changed_fraction,
-                    "spec": spec,
-                },
-            )
-        )
-    return cells
+    return SCENARIO.with_axis_values(
+        mode=modes,
+        checkpoints=(checkpoints,),
+        state_bytes=(state_bytes,),
+        changed_fraction=(changed_fraction,),
+    ).build_cells(cluster_spec=spec)
 
 
 def merge_fig7(results: Sequence[CellResult]) -> ExperimentResult:
@@ -205,18 +195,28 @@ def merge_fig7(results: Sequence[CellResult]) -> ExperimentResult:
     return result
 
 
-def _enumerate(config: RunConfig) -> List[Cell]:
-    return fig7_cells(spec=config.spec)
-
-
-SPEC = register(
-    ExperimentSpec(
-        name="fig7",
-        description=_DESCRIPTION,
-        enumerate_cells=_enumerate,
-        merge=merge_fig7,
-    )
+SCENARIO = ScenarioSpec(
+    name="fig7",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("mode", ("off", "dedup", "zlib")),
+        Axis("checkpoints", (5,)),
+        Axis("state_bytes", (16 * MB,)),
+        Axis("changed_fraction", (0.25,)),
+    ),
+    key_axes=("mode",),
+    cell_func=run_fig7_cell,
+    cell_params=lambda point: {
+        "mode": point["mode"],
+        "checkpoints": point["checkpoints"],
+        "state_bytes": point["state_bytes"],
+        "changed_fraction": point["changed_fraction"],
+    },
+    merge=merge_fig7,
 )
+
+
+SPEC = register_scenario(SCENARIO)
 
 
 def run_fig7(

@@ -17,7 +17,8 @@ noise and the block-granularity overhead of BlobCR); BLCR snapshots are much
 larger because every byte the processes allocated -- scratch arrays included
 -- ends up in the context files.
 
-Each approach is one independent runner cell (``table1:<approach>``);
+Each approach is one independent runner cell (``table1:<approach>``),
+declared as a :class:`~repro.scenarios.spec.ScenarioSpec` sweep;
 :func:`run_table1` remains as a thin sequential wrapper over the same cells.
 """
 
@@ -33,35 +34,11 @@ from repro.experiments.fig6_cm1 import (
 )
 from repro.experiments.harness import CM1_APPROACHES, ExperimentResult
 from repro.runner.cells import Cell, CellResult, run_cells_inline
-from repro.runner.registry import ExperimentSpec, RunConfig, register
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.spec import Axis, ScenarioSpec
 from repro.util.config import ClusterSpec
 
 _DESCRIPTION = "CM1 per disk-snapshot size (MB per VM instance)"
-
-
-def table1_cells(
-    processes: int = 16,
-    approaches: Sequence[str] = CM1_APPROACHES,
-    spec: Optional[ClusterSpec] = None,
-    config: Optional[CM1Config] = None,
-) -> List[Cell]:
-    """Enumerate the independent cells of Table 1 (one per approach)."""
-    cells: List[Cell] = []
-    for approach in approaches:
-        cells.append(
-            Cell(
-                experiment="table1",
-                parts=(approach,),
-                func=run_cm1_cell,
-                params={
-                    "approach": approach,
-                    "processes": processes,
-                    "spec": spec,
-                    "config": config,
-                },
-            )
-        )
-    return cells
 
 
 def merge_table1(results: Sequence[CellResult]) -> ExperimentResult:
@@ -80,19 +57,36 @@ def merge_table1(results: Sequence[CellResult]) -> ExperimentResult:
     return result
 
 
-def _enumerate(config: RunConfig) -> List[Cell]:
-    counts = PAPER_CM1_PROCESSES if config.paper_scale else BENCH_CM1_PROCESSES
-    return table1_cells(processes=counts[0], spec=config.spec)
-
-
-SPEC = register(
-    ExperimentSpec(
-        name="table1",
-        description=_DESCRIPTION,
-        enumerate_cells=_enumerate,
-        merge=merge_table1,
-    )
+SCENARIO = ScenarioSpec(
+    name="table1",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("approach", CM1_APPROACHES),
+        Axis("processes", (BENCH_CM1_PROCESSES[0],), paper_values=(PAPER_CM1_PROCESSES[0],)),
+    ),
+    key_axes=("approach",),
+    cell_func=run_cm1_cell,
+    cell_params=lambda point: {
+        "approach": point["approach"],
+        "processes": point["processes"],
+        "config": None,
+    },
+    merge=merge_table1,
 )
+
+SPEC = register_scenario(SCENARIO)
+
+
+def table1_cells(
+    processes: int = 16,
+    approaches: Sequence[str] = CM1_APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[CM1Config] = None,
+) -> List[Cell]:
+    """Enumerate the independent cells of Table 1 (one per approach)."""
+    return SCENARIO.with_axis_values(
+        approach=approaches, processes=(processes,)
+    ).build_cells(cluster_spec=spec, params_override={"config": config} if config else None)
 
 
 def run_table1(

@@ -207,8 +207,7 @@ class GuestFileSystem:
         node = self._files.get(path)
         if node is None:
             raise FileSystemError(f"no such file: {path}")
-        return FileStat(path=path, size=node.size, on_disk_size=node.on_disk_size,
-                        dirty=node.dirty)
+        return FileStat(path=path, size=node.size, on_disk_size=node.on_disk_size, dirty=node.dirty)
 
     # -- persistence -----------------------------------------------------------------
 

@@ -71,7 +71,8 @@ def write_runtime_noise(
     written = 0
     for i, path in enumerate(("/var/log/syslog", "/var/log/daemon.log")):
         size = int(rng.integers(8 * 1024, 64 * 1024))
-        fs.write_file(path, SyntheticBytes(("runtime-noise", instance_id, epoch, i), size),
-                      append=True)
+        fs.write_file(
+            path, SyntheticBytes(("runtime-noise", instance_id, epoch, i), size), append=True
+        )
         written += size
     return written

@@ -68,8 +68,7 @@ class MPICommunicator:
 
     # -- point to point ---------------------------------------------------------------------
 
-    def send(self, src: int, dst: int, nbytes: int, payload: Any = None,
-             tag: int = 0) -> Generator:
+    def send(self, src: int, dst: int, nbytes: int, payload: Any = None, tag: int = 0) -> Generator:
         """Simulation process: blocking send of ``nbytes`` from ``src`` to ``dst``."""
         if self._quiesced:
             raise MPIError("communicator is quiesced (checkpoint in progress)")

@@ -64,6 +64,12 @@ def build_artifact(
     calibrate: bool = True,
 ) -> Dict[str, Any]:
     """Build the JSON-serialisable artifact document for one run."""
+    environment = environment_info()
+    if report.config is not None:
+        # Record every --override / --seed so a recorded run is reproducible
+        # from the artifact alone.
+        environment["overrides"] = list(report.config.overrides)
+        environment["seed"] = report.config.seed
     return {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,
@@ -77,7 +83,7 @@ def build_artifact(
             "sim_time_s": report.total_sim_time_s,
             "argv": list(argv) if argv is not None else None,
         },
-        "environment": environment_info(),
+        "environment": environment,
         "calibration": {"spin_time_s": calibration_spin() if calibrate else None},
         "cells": [
             {

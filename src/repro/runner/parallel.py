@@ -21,10 +21,10 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from repro.experiments.harness import ExperimentResult
 from repro.runner.cells import Cell, CellResult, execute_cell, run_cells_inline
 from repro.runner.registry import ExperimentSpec, RunConfig, get_experiment
 from repro.runner.select import CellSelector, filter_cells
+from repro.scenarios.results import ExperimentResult
 from repro.util.errors import ConfigurationError
 
 #: progress callback: (cells done, cells total, result of the finished cell)
@@ -43,6 +43,8 @@ class RunReport:
     paper_scale: bool = False
     #: host wall-clock time of the whole cell-execution phase, seconds
     wall_time_s: float = 0.0
+    #: configuration the run executed under (overrides, seed, cluster spec)
+    config: Optional[RunConfig] = None
 
     @property
     def total_sim_time_s(self) -> float:
@@ -95,6 +97,7 @@ class ParallelRunner:
             workers=self.workers,
             paper_scale=config.paper_scale,
             wall_time_s=wall,
+            config=config,
         )
         for spec in specs:
             mine = [r for r in cell_results if r.experiment == spec.name]

@@ -11,7 +11,7 @@ order of the CLI (fig2 ... table1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.util.errors import ConfigurationError
 
@@ -28,6 +28,12 @@ class RunConfig:
     paper_scale: bool = False
     #: override the simulated cluster (``None`` uses each experiment's default)
     spec: Optional["ClusterSpec"] = None
+    #: raw scenario-axis overrides (``"<scenario>.<axis>=v1|v2"``), applied
+    #: by each scenario at cell-enumeration time
+    overrides: Tuple[str, ...] = ()
+    #: base RNG seed override (already folded into :attr:`spec`; recorded
+    #: here so perf artifacts can report it)
+    seed: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,23 @@ class ExperimentSpec:
 
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}
+
+#: canonical ordering of the built-in experiments.  Registration order would
+#: otherwise depend on which module happened to be imported first (e.g. by a
+#: test file); pinning it keeps the CLI and artifacts stable.  Experiments
+#: not listed here (ad-hoc registrations) append in registration order.
+_CANONICAL_ORDER = (
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "ft",
+    "scale",
+    "contention",
+)
 
 
 def register(spec: ExperimentSpec) -> ExperimentSpec:
@@ -63,12 +86,21 @@ def get_experiment(name: str) -> ExperimentSpec:
 
 
 def experiment_names() -> List[str]:
-    """Names of all registered experiments, in registration order."""
-    return list(_REGISTRY)
+    """Names of all registered experiments, in canonical order."""
+    known = [name for name in _CANONICAL_ORDER if name in _REGISTRY]
+    extra = [name for name in _REGISTRY if name not in _CANONICAL_ORDER]
+    return known + extra
 
 
 def load_all() -> List[str]:
-    """Import every experiment module so the registry is fully populated."""
+    """Import every experiment module so the registry is fully populated.
+
+    The paper's figures register first (canonical order fig2 ... table1),
+    followed by the beyond-paper scenarios (ft, scale, contention).
+    """
     import repro.experiments  # noqa: F401  (imports register the specs)
+    import repro.scenarios.fault_tolerance  # noqa: F401
+    import repro.scenarios.scale  # noqa: F401
+    import repro.scenarios.contention  # noqa: F401
 
     return experiment_names()

@@ -56,15 +56,51 @@ def check_regression(
     artifact: Dict[str, Any],
     max_regression: float = DEFAULT_MAX_REGRESSION,
     slack_seconds: float = DEFAULT_SLACK_SECONDS,
+    allow_new: bool = False,
 ) -> GateReport:
-    """Fail if any shared experiment's wall time regressed past the threshold."""
+    """Fail if any shared experiment's wall time regressed past the threshold.
+
+    Coverage is explicit, never silent: experiments present in only one of
+    the two documents are listed, and an experiment recorded in the artifact
+    but absent from the baseline *fails* the gate unless ``allow_new`` is
+    set -- new scenarios must enter gating with a committed baseline.
+    """
     report = GateReport()
     scale = calibration_scale(baseline, artifact)
     report.note(f"calibration scale (this machine vs baseline): {scale:.3f}x")
     shared = [
         name for name in baseline.get("experiments", {}) if name in artifact["experiments"]
     ]
+    baseline_only = [
+        name for name in baseline.get("experiments", {})
+        if name not in artifact["experiments"]
+    ]
+    artifact_only = [
+        name for name in artifact["experiments"]
+        if name not in baseline.get("experiments", {})
+    ]
+    if baseline_only:
+        report.note(
+            "not exercised by this artifact (baseline-only): " + ", ".join(baseline_only)
+        )
+    if artifact_only:
+        if allow_new:
+            report.note(
+                "no baseline yet (ungated, --allow-new-experiments): "
+                + ", ".join(artifact_only)
+            )
+        else:
+            report.fail(
+                "experiment(s) without a committed baseline: "
+                + ", ".join(artifact_only)
+                + " -- record a new baseline or pass --allow-new-experiments"
+            )
     if not shared:
+        if allow_new and artifact_only:
+            # Every artifact experiment is new and explicitly ungated -- the
+            # documented path for recording a brand-new scenario on its own.
+            report.note("no shared experiments; the whole artifact is new and ungated")
+            return report
         report.fail("baseline and artifact share no experiments to compare")
         return report
     total_base = 0.0

@@ -1,0 +1,49 @@
+"""Declarative scenario engine.
+
+The evaluation decomposes into *scenarios*: a validated, composable
+:class:`~repro.scenarios.spec.ScenarioSpec` describes what to run (sweep
+axes, approach selection, cluster plan, failure plan, measured quantities)
+and the engine turns it into the runner's cell/merge machinery:
+
+* :mod:`repro.scenarios.spec` -- the declarative layer
+  (:class:`~repro.scenarios.spec.Axis`,
+  :class:`~repro.scenarios.spec.FailurePlan`,
+  :class:`~repro.scenarios.spec.ScenarioSpec`) plus the
+  ``approach_matrix`` merge factory,
+* :mod:`repro.scenarios.engine` -- ``register_scenario`` adapts a spec into
+  a registered :class:`~repro.runner.registry.ExperimentSpec`,
+* :mod:`repro.scenarios.overrides` -- ``--override key=value`` parsing for
+  ClusterSpec fields and scenario sweep axes,
+* :mod:`repro.scenarios.fault_tolerance` / :mod:`~repro.scenarios.scale` /
+  :mod:`~repro.scenarios.contention` -- the beyond-paper scenarios built on
+  the same layer as the paper's figures.
+
+Importing this package only exposes the building blocks; the scenario
+modules register themselves when :func:`repro.runner.registry.load_all`
+imports them (after the paper's figures, preserving canonical order).
+"""
+
+from repro.scenarios.engine import (
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.overrides import (
+    apply_cluster_overrides,
+    axis_overrides_for,
+    split_overrides,
+)
+from repro.scenarios.spec import Axis, FailurePlan, ScenarioSpec, approach_matrix
+
+__all__ = [
+    "Axis",
+    "FailurePlan",
+    "ScenarioSpec",
+    "approach_matrix",
+    "apply_cluster_overrides",
+    "axis_overrides_for",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "split_overrides",
+]

@@ -1,0 +1,46 @@
+"""The scenario executor: adapt declarative specs onto the parallel runner.
+
+``register_scenario`` wraps a validated :class:`ScenarioSpec` into the
+:class:`~repro.runner.registry.ExperimentSpec` the registry-driven runner
+executes (cell enumeration honouring ``--paper-scale`` and ``--override``,
+merge in canonical order), and keeps a parallel registry of the scenario
+objects themselves so the CLI and the override parser can introspect axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.runner.registry import ExperimentSpec, register
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.errors import ConfigurationError
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(scenario: ScenarioSpec) -> ExperimentSpec:
+    """Validate and register one scenario with the runner registry."""
+    scenario.validate()
+    spec = ExperimentSpec(
+        name=scenario.name,
+        description=scenario.description,
+        enumerate_cells=scenario.enumerate_cells,
+        merge=scenario.merge,
+    )
+    register(spec)
+    _SCENARIOS[scenario.name] = scenario
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (known: {', '.join(_SCENARIOS) or 'none'})"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Names of all registered scenarios, in registration order."""
+    return list(_SCENARIOS)

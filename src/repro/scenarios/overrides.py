@@ -1,0 +1,148 @@
+"""``--override key=value`` parsing for cluster fields and scenario axes.
+
+Two override namespaces exist:
+
+* ``cluster.<path>=<value>`` rewrites one field of the simulated
+  :class:`~repro.util.config.ClusterSpec` (dotted paths descend into the
+  nested spec dataclasses), e.g. ``cluster.compute_nodes=64`` or
+  ``cluster.blobseer.replication=3``.  ``--seed N`` is sugar for
+  ``cluster.seed=N``.
+* ``<scenario>.<axis>=<v1>|<v2>|...`` replaces one sweep axis of one
+  registered scenario, e.g. ``ft.mtbf=900`` or ``scale.instances=64|128``.
+  Values are coerced to the axis's value type; ``|`` separates sweep
+  points.
+
+Both kinds are recorded verbatim in the perf artifact's environment block so
+a recorded run is reproducible from its artifact alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.util.config import ClusterSpec
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import ScenarioSpec
+
+#: namespace prefix of ClusterSpec overrides
+CLUSTER_PREFIX = "cluster"
+
+
+def _split_assignment(raw: str) -> Tuple[str, str]:
+    if "=" not in raw:
+        raise ConfigurationError(f"override {raw!r} is not of the form key=value")
+    key, value = raw.split("=", 1)
+    key = key.strip()
+    if not key or "." not in key:
+        raise ConfigurationError(
+            f"override key {key!r} must be 'cluster.<field>' or '<scenario>.<axis>'"
+        )
+    return key, value.strip()
+
+
+def split_overrides(
+    raw: Sequence[str], scenario_names: Sequence[str]
+) -> Tuple[List[Tuple[str, str]], List[str]]:
+    """Split raw ``--override`` values into (cluster overrides, scenario overrides).
+
+    Cluster overrides come back as ``(dotted-path, value)`` pairs with the
+    ``cluster.`` prefix stripped; scenario overrides stay as raw strings for
+    :func:`axis_overrides_for` to apply at enumeration time.
+    """
+    cluster: List[Tuple[str, str]] = []
+    scenario: List[str] = []
+    for item in raw:
+        key, value = _split_assignment(item)
+        head = key.split(".", 1)[0]
+        if head == CLUSTER_PREFIX:
+            cluster.append((key.split(".", 1)[1], value))
+        elif head in scenario_names:
+            scenario.append(f"{key}={value}")
+        else:
+            raise ConfigurationError(
+                f"override {item!r} targets neither 'cluster' nor a known scenario "
+                f"(known: {', '.join(scenario_names) or 'none'})"
+            )
+    return cluster, scenario
+
+
+def coerce_token(kind: type, token: str, context: str) -> Any:
+    """Coerce one override token to ``kind`` (shared by cluster + axis overrides)."""
+    try:
+        if kind is bool:
+            if token.lower() in ("1", "true", "yes", "on"):
+                return True
+            if token.lower() in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(token)
+        return kind(token)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"cannot parse {token!r} as a {kind.__name__} for {context}"
+        ) from None
+
+
+def _coerce_field(current: Any, token: str, path: str) -> Any:
+    """Coerce one override token to the type of the field it replaces."""
+    if current is None:
+        # Optional numeric knobs (e.g. dedup ratio overrides): parse the
+        # most specific numeric type that fits.
+        try:
+            return int(token)
+        except ValueError:
+            return coerce_token(float, token, f"cluster.{path}")
+    return coerce_token(type(current), token, f"cluster.{path}")
+
+
+def apply_cluster_overrides(
+    spec: ClusterSpec, overrides: Sequence[Tuple[str, str]]
+) -> ClusterSpec:
+    """Apply ``(dotted-path, value)`` overrides to a (frozen) ClusterSpec."""
+
+    def rewrite(obj: Any, parts: List[str], token: str, path: str) -> Any:
+        head = parts[0]
+        if not dataclasses.is_dataclass(obj) or head not in {
+            f.name for f in dataclasses.fields(obj)
+        }:
+            raise ConfigurationError(f"unknown cluster override field cluster.{path}")
+        current = getattr(obj, head)
+        if len(parts) == 1:
+            if dataclasses.is_dataclass(current):
+                raise ConfigurationError(
+                    f"cluster.{path} is a group, not a field (override one of its fields)"
+                )
+            return dataclasses.replace(obj, **{head: _coerce_field(current, token, path)})
+        return dataclasses.replace(obj, **{head: rewrite(current, parts[1:], token, path)})
+
+    for path, token in overrides:
+        spec = rewrite(spec, path.split("."), token, path)
+    try:
+        spec.validate()
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"invalid cluster override: {exc}") from None
+    return spec
+
+
+def axis_overrides_for(
+    scenario: "ScenarioSpec", overrides: Sequence[str]
+) -> Dict[str, Tuple[Any, ...]]:
+    """Extract this scenario's axis overrides from raw ``--override`` strings.
+
+    Returns ``{axis name: coerced values}`` for overrides addressed to
+    ``scenario``; unknown axis names raise.
+    """
+    picked: Dict[str, Tuple[Any, ...]] = {}
+    for raw in overrides:
+        key, value = _split_assignment(raw)
+        name, axis_name = key.split(".", 1)
+        if name != scenario.name:
+            continue
+        axis = scenario.axis(axis_name)  # raises on unknown axes
+        tokens = [t for t in value.split("|") if t.strip()]
+        if not tokens:
+            raise ConfigurationError(f"override {raw!r} carries no values")
+        picked[axis_name] = tuple(axis.coerce(t.strip()) for t in tokens)
+    return picked

@@ -1,0 +1,85 @@
+"""Beyond-paper scenario: checkpoint/restart scalability sweep (``scale``).
+
+The paper stops at 120 VM instances -- the size of one Grid'5000 cluster.
+This sweep pushes the same deploy/checkpoint/restart cycle to 512 instances
+(under ``--paper-scale``; the default reduced axis covers 16..64), growing
+the simulated cloud with the instance count while keeping the per-node
+hardware calibration fixed.  The declared quantities are the three phase
+completion times per approach, exposing how the BlobSeer data/metadata
+planes and the PVFS baselines degrade as the aggregate write pressure
+grows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.scenarios.engine import register_scenario
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.spec import Axis, ScenarioSpec
+from repro.scenarios.workloads import run_synthetic_cell
+from repro.util.config import ClusterSpec
+from repro.util.units import MB
+
+#: the scale study contrasts the two disk-snapshot approaches
+SCALE_APPROACHES = ("BlobCR-app", "qcow2-disk-app")
+
+_DESCRIPTION = (
+    "deploy / checkpoint / restart completion time (s) per approach vs "
+    "instance count, up to 512 instances at paper scale"
+)
+
+
+def merge_scale(results) -> ExperimentResult:
+    """One row per instance count; phase times column-per-approach."""
+    result = ExperimentResult(experiment="scale", description=_DESCRIPTION)
+    rows: Dict[int, Dict[str, Any]] = {}
+    for cell in results:
+        payload = cell.payload
+        instances = payload["instances"]
+        row = rows.get(instances)
+        if row is None:
+            row = {"instances": instances}
+            rows[instances] = row
+            result.rows.append(row)
+        approach = payload["approach"]
+        row[f"{approach} deploy_s"] = payload["deploy_time"]
+        row[f"{approach} ckpt_s"] = payload["checkpoint_time"]
+        row[f"{approach} restart_s"] = payload["restart_time"]
+    return result
+
+
+SCENARIO = ScenarioSpec(
+    name="scale",
+    description=_DESCRIPTION,
+    axes=(
+        Axis("instances", (16, 32, 64), paper_values=(128, 256, 512)),
+        Axis("approach", SCALE_APPROACHES),
+        Axis("buffer_bytes", (50 * MB,)),
+    ),
+    key_axes=("approach", "instances"),
+    cell_func=run_synthetic_cell,
+    cell_params=lambda point: {
+        "approach": point["approach"],
+        "instances": point["instances"],
+        "buffer_bytes": point["buffer_bytes"],
+        "include_restart": True,
+    },
+    merge=merge_scale,
+)
+
+SPEC = register_scenario(SCENARIO)
+
+
+def run_scale(
+    instance_counts: Sequence[int] = (16, 32, 64),
+    approaches: Sequence[str] = SCALE_APPROACHES,
+    spec: Optional[ClusterSpec] = None,
+) -> ExperimentResult:
+    """Regenerate the scale sweep, sequentially."""
+    from repro.runner.cells import run_cells_inline
+
+    cells = SCENARIO.with_axis_values(
+        instances=instance_counts, approach=approaches
+    ).build_cells(cluster_spec=spec)
+    return merge_scale(run_cells_inline(cells))

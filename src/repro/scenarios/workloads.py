@@ -1,0 +1,206 @@
+"""Workload plans of the evaluation: the synthetic benchmark cell functions.
+
+The five approaches of the synthetic evaluation (Section 4.2/4.3):
+
+========================  ======================  =====================
+label                     stage 1 (process state) stage 2 (persistence)
+========================  ======================  =====================
+``BlobCR-app``            application dump        BlobSeer disk snapshot
+``qcow2-disk-app``        application dump        qcow2 file copy to PVFS
+``BlobCR-blcr``           BLCR via mpich2         BlobSeer disk snapshot
+``qcow2-disk-blcr``       BLCR via mpich2         qcow2 file copy to PVFS
+``qcow2-full``            none (RAM captured)     savevm + copy to PVFS
+========================  ======================  =====================
+
+:func:`run_synthetic_scenario` runs one complete deploy -> fill -> checkpoint ->
+restart cycle for one approach and returns every quantity Figures 2-4 need, so
+scenario specs only select and format columns.  This module sits in the
+scenario layer (below the per-figure modules) so both the paper's figures and
+the beyond-paper sweeps share it without layering cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.apps.synthetic import SyntheticBenchmark
+from repro.baselines import Qcow2DiskDeployment, Qcow2FullDeployment
+from repro.cluster.cloud import Cloud
+from repro.core import BlobCRDeployment
+from repro.core.strategy import Deployment
+
+from repro.util.config import GRAPHENE, ClusterSpec
+from repro.util.errors import ConfigurationError
+from repro.util.units import MB
+
+#: the five approaches of the synthetic benchmarks (Figures 2, 3, 4, 5)
+APPROACHES = ["BlobCR-app", "qcow2-disk-app", "BlobCR-blcr", "qcow2-disk-blcr", "qcow2-full"]
+#: the four approaches of the CM1 study (Figure 6, Table 1; qcow2-full omitted)
+CM1_APPROACHES = ["BlobCR-app", "qcow2-disk-app", "BlobCR-blcr", "qcow2-disk-blcr"]
+
+#: process-count axis used when reproducing the paper-scale figures
+PAPER_SCALE_POINTS = (8, 24, 48, 80, 120)
+#: reduced axis used by the default benchmark run (same shape, faster)
+BENCH_SCALE_POINTS = (4, 12, 24)
+
+#: buffer sizes of the synthetic benchmark
+PAPER_BUFFER_SIZES = (50 * MB, 200 * MB)
+
+
+def format_mb(nbytes: int) -> str:
+    """Render a byte count as the ``<n>MB`` cell-key part used since PR 2."""
+    return f"{nbytes // 10**6}MB"
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything measured in one deploy/checkpoint/restart cycle."""
+
+    approach: str
+    instances: int
+    buffer_bytes: int
+    deploy_time: float
+    checkpoint_time: float
+    restart_time: float
+    #: per-instance size of the persisted snapshot (max across instances)
+    snapshot_bytes_per_instance: int
+    #: total persistent storage used after the checkpoint
+    storage_after_checkpoint: int
+    restored_ok: bool
+
+
+def split_approach(approach: str) -> tuple[str, str]:
+    """Split an approach label into (storage backend, checkpoint level)."""
+    if approach == "qcow2-full":
+        return "qcow2-full", "full"
+    backend, level = approach.rsplit("-", 1)
+    if backend not in ("BlobCR", "qcow2-disk") or level not in ("app", "blcr"):
+        raise ConfigurationError(f"unknown approach {approach!r}")
+    return backend, level
+
+
+def make_deployment(approach: str, spec: Optional[ClusterSpec] = None) -> Deployment:
+    """Create a fresh cloud + deployment strategy for one approach."""
+    spec = spec or GRAPHENE
+    cloud = Cloud(spec)
+    backend, _level = split_approach(approach)
+    if backend == "BlobCR":
+        return BlobCRDeployment(cloud)
+    if backend == "qcow2-disk":
+        return Qcow2DiskDeployment(cloud)
+    return Qcow2FullDeployment(cloud)
+
+
+def run_synthetic_scenario(
+    approach: str,
+    instances: int,
+    buffer_bytes: int,
+    spec: Optional[ClusterSpec] = None,
+    include_restart: bool = True,
+    checkpoints: int = 1,
+) -> ScenarioOutcome:
+    """Run one full synthetic-benchmark cycle for one approach.
+
+    ``checkpoints`` > 1 reproduces the successive-checkpoint experiment
+    (Figure 5): the buffer is refilled before every checkpoint.
+    """
+    spec = spec or GRAPHENE
+    if instances > spec.compute_nodes:
+        spec = spec.scaled(compute_nodes=instances)
+    deployment = make_deployment(approach, spec)
+    cloud = deployment.cloud
+    backend, level = split_approach(approach)
+    bench = SyntheticBenchmark(deployment, buffer_bytes)
+    measurements: Dict[str, Any] = {}
+
+    def scenario():
+        start = cloud.now
+        yield from deployment.deploy(instances, processes_per_instance=1)
+        measurements["deploy_time"] = cloud.now - start
+        checkpoint = None
+        checkpoint_times: List[float] = []
+        storage_after: List[int] = []
+        for _ in range(checkpoints):
+            bench.fill_buffers()
+            t0 = cloud.now
+            if level == "app":
+                checkpoint = yield from bench.checkpoint_app_level()
+            elif level == "blcr":
+                checkpoint = yield from bench.checkpoint_process_level()
+            else:  # qcow2-full: the buffer stays in RAM and savevm captures it
+                checkpoint = yield from deployment.checkpoint_all(tag="full")
+            checkpoint_times.append(cloud.now - t0)
+            storage_after.append(deployment.storage_used_bytes())
+        measurements["checkpoint_times"] = checkpoint_times
+        measurements["storage_trajectory"] = storage_after
+        measurements["checkpoint"] = checkpoint
+        measurements["snapshot_bytes"] = checkpoint.max_snapshot_bytes
+        if include_restart:
+            t0 = cloud.now
+            yield from bench.restart(checkpoint)
+            measurements["restart_time"] = cloud.now - t0
+            measurements["restored_ok"] = (
+                True if level == "full" else bench.verify_restored_state()
+            )
+        else:
+            measurements["restart_time"] = 0.0
+            measurements["restored_ok"] = True
+        return measurements
+
+    cloud.run(cloud.process(scenario(), name=f"scenario:{approach}"))
+    outcome = ScenarioOutcome(
+        approach=approach,
+        instances=instances,
+        buffer_bytes=buffer_bytes,
+        deploy_time=measurements["deploy_time"],
+        checkpoint_time=measurements["checkpoint_times"][-1],
+        restart_time=measurements["restart_time"],
+        snapshot_bytes_per_instance=measurements["snapshot_bytes"],
+        storage_after_checkpoint=measurements["storage_trajectory"][-1],
+        restored_ok=measurements["restored_ok"],
+    )
+    # Stash the full trajectories for Figure 5 without widening the dataclass.
+    outcome.checkpoint_times = measurements["checkpoint_times"]  # type: ignore[attr-defined]
+    outcome.storage_trajectory = measurements["storage_trajectory"]  # type: ignore[attr-defined]
+    return outcome
+
+
+def run_synthetic_cell(
+    approach: str,
+    instances: int,
+    buffer_bytes: int,
+    spec: Optional[ClusterSpec] = None,
+    include_restart: bool = True,
+    checkpoints: int = 1,
+) -> Dict[str, Any]:
+    """Run one synthetic cell and return a JSON-serialisable payload.
+
+    This is the module-level (hence picklable) cell function the runner
+    dispatches to worker processes for Figures 2-5; the per-figure merge
+    functions pick the columns they need out of the payload.
+    """
+    outcome = run_synthetic_scenario(
+        approach,
+        instances,
+        buffer_bytes,
+        spec=spec,
+        include_restart=include_restart,
+        checkpoints=checkpoints,
+    )
+    checkpoint_times = list(outcome.checkpoint_times)  # type: ignore[attr-defined]
+    storage_trajectory = list(outcome.storage_trajectory)  # type: ignore[attr-defined]
+    return {
+        "approach": approach,
+        "instances": instances,
+        "buffer_bytes": buffer_bytes,
+        "deploy_time": outcome.deploy_time,
+        "checkpoint_time": outcome.checkpoint_time,
+        "restart_time": outcome.restart_time,
+        "snapshot_bytes_per_instance": outcome.snapshot_bytes_per_instance,
+        "storage_after_checkpoint": outcome.storage_after_checkpoint,
+        "restored_ok": outcome.restored_ok,
+        "checkpoint_times": checkpoint_times,
+        "storage_trajectory": storage_trajectory,
+        "sim_time_s": outcome.deploy_time + sum(checkpoint_times) + outcome.restart_time,
+    }

@@ -230,6 +230,14 @@ class BandwidthSystem:
             horizon = min(horizon, flow.remaining / flow.rate)
         if not math.isfinite(horizon):
             raise SimulationError("active flows but no finite completion horizon")
+        if horizon <= _EPSILON_TIME:
+            # Float residue left a flow with a completion horizon below the
+            # settle threshold: the timer would fire, _settle() would skip the
+            # sub-epsilon elapsed time and _replan() would reschedule the same
+            # instant forever.  Nudge the horizon just past the threshold so
+            # the residue is actually drained (rate changes mid-flight --
+            # e.g. failure injection detaching flows -- can produce this).
+            horizon = _EPSILON_TIME * 10
         self._timer_generation += 1
         generation = self._timer_generation
         timer = self.env.timeout(max(horizon, 0.0))

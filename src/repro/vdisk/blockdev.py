@@ -139,8 +139,13 @@ class SparseDevice(BlockDevice):
     module exposes a remotely stored image with local copy-on-write).
     """
 
-    def __init__(self, size: int, block_size: int = 256 * 1024,
-                 base: Optional[BlockDevice] = None, name: str = ""):
+    def __init__(
+        self,
+        size: int,
+        block_size: int = 256 * 1024,
+        base: Optional[BlockDevice] = None,
+        name: str = "",
+    ):
         if size <= 0:
             raise StorageError(f"device size must be positive: {size}")
         if base is not None and base.size > size:

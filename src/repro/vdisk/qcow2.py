@@ -134,8 +134,10 @@ class QcowImage(BlockDevice):
             payload = piece
         else:
             # Copy-up: merge with the current guest-visible cluster contents.
-            base = self.read(index * self.cluster_size,
-                             min(self.cluster_size, self._size - index * self.cluster_size))
+            base = self.read(
+                index * self.cluster_size,
+                min(self.cluster_size, self._size - index * self.cluster_size),
+            )
             if base.size < self.cluster_size:
                 base = concat([base, ZeroBytes(self.cluster_size - base.size)])
             pieces: List[ByteSource] = []
@@ -224,14 +226,19 @@ class QcowImage(BlockDevice):
         independent tables, so later writes to either image do not affect the
         other -- exactly like copying the file.
         """
-        copy = QcowImage(self._size, self.cluster_size, backing=self.backing,
-                         name=name or f"{self.name}-copy")
+        copy = QcowImage(
+            self._size, self.cluster_size, backing=self.backing, name=name or f"{self.name}-copy"
+        )
         copy._clusters = dict(self._clusters)
         copy._shared = set(self._shared)
         copy._allocated_clusters = self._allocated_clusters
         copy._snapshots = {
-            n: InternalSnapshot(name=s.name, cluster_table=dict(s.cluster_table),
-                                vm_state_size=s.vm_state_size, sequence=s.sequence)
+            n: InternalSnapshot(
+                name=s.name,
+                cluster_table=dict(s.cluster_table),
+                vm_state_size=s.vm_state_size,
+                sequence=s.sequence,
+            )
             for n, s in self._snapshots.items()
         }
         copy._sequence = itertools.count(len(copy._snapshots) + 1)

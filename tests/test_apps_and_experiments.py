@@ -171,8 +171,9 @@ class TestExperimentHarness:
 
     @pytest.mark.parametrize("approach", APPROACHES)
     def test_scenario_runs_for_every_approach(self, approach):
-        outcome = run_synthetic_scenario(approach, instances=2, buffer_bytes=2 * MB,
-                                         spec=SMALL, include_restart=True)
+        outcome = run_synthetic_scenario(
+            approach, instances=2, buffer_bytes=2 * MB, spec=SMALL, include_restart=True
+        )
         assert outcome.checkpoint_time > 0
         assert outcome.restart_time > 0
         assert outcome.snapshot_bytes_per_instance > 0
@@ -187,7 +188,6 @@ class TestExperimentHarness:
         assert "fig4" in result.to_table()
 
     def test_table1_shape(self):
-        result = run_table1(processes=8, spec=SMALL,
-                            config=CM1Config(nx=10, ny=10, nz=6, fields=3))
+        result = run_table1(processes=8, spec=SMALL, config=CM1Config(nx=10, ny=10, nz=6, fields=3))
         sizes = {row["approach"]: row["snapshot_MB"] for row in result.rows}
         assert sizes["BlobCR-blcr"] >= sizes["BlobCR-app"]

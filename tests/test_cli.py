@@ -89,6 +89,81 @@ class TestRuns:
         assert document["experiments"]["fig7"]["rows"]
 
 
+class TestOverridesAndSeed:
+    def test_bad_override_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--override", "nonsense.axis=1", "--no-progress"])
+        assert excinfo.value.code == 2
+        assert "override" in capsys.readouterr().err
+
+    def test_bad_cluster_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--override", "cluster.compute_nodes=zero", "--no-progress"])
+        assert excinfo.value.code == 2
+
+    def test_override_outside_selected_experiments_rejected(self, capsys):
+        # A valid override addressed to an unselected scenario would be
+        # silently inert (yet recorded in the artifact): reject it.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig2", "--override", "scale.instances=4", "--no-progress"])
+        assert excinfo.value.code == 2
+        assert "not selected" in capsys.readouterr().err
+
+    def test_multi_value_override_of_non_key_axis_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ft", "--override", "ft.instances=4|8", "--list-cells"])
+        assert excinfo.value.code == 2
+        assert "duplicate cell keys" in capsys.readouterr().err
+
+    def test_axis_override_restricts_cells(self, capsys):
+        argv = [
+            "ft",
+            "--override",
+            "ft.mtbf=150",
+            "--override",
+            "ft.approach=qcow2-full",
+            "--list-cells",
+        ]
+        assert main(argv) == 0
+        assert capsys.readouterr().out.splitlines() == ["ft:qcow2-full:150"]
+
+    def test_seed_changes_results_and_is_recorded(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        seeded = tmp_path / "seeded.json"
+        argv = ["--cells", "fig2:BlobCR-app:4:50MB", "--no-progress"]
+        assert main(argv + ["--json", str(base)]) == 0
+        assert main(
+            argv + [
+                "--json", str(seeded), "--seed", "7", "--artifact", str(tmp_path / "artifact.json")
+            ]
+        ) == 0
+        capsys.readouterr()
+        with open(base) as handle:
+            rows_a = json.load(handle)["fig2"]["rows"]
+        with open(seeded) as handle:
+            rows_b = json.load(handle)["fig2"]["rows"]
+        # Different base seed, different jitter draws, different timings.
+        assert rows_a != rows_b
+        document = load_artifact(str(tmp_path / "artifact.json"))
+        assert document["environment"]["seed"] == 7
+        assert document["environment"]["overrides"] == []
+
+    def test_cluster_override_applies(self, capsys):
+        argv = [
+            "--cells",
+            "fig7:off",
+            "--no-progress",
+            "--json",
+            "-",
+            "--override",
+            "cluster.blobseer.chunk_size=131072",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        rows = json.loads(out[out.index("{"):])["fig7"]["rows"]
+        assert rows  # the overridden cluster still produces the ablation rows
+
+
 class TestZeroRowResilience:
     @pytest.fixture()
     def empty_experiment(self):

@@ -82,8 +82,9 @@ class TestPVFS:
         out = {}
 
         def scenario():
-            yield from pvfs.write_file("node-000", "data/file.bin", 10_000_000,
-                                       payload="the-payload")
+            yield from pvfs.write_file(
+                "node-000", "data/file.bin", 10_000_000, payload="the-payload"
+            )
             entry = yield from pvfs.read_file("node-001", "data/file.bin")
             out["payload"] = entry.payload
             out["size"] = entry.size

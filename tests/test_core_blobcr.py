@@ -80,8 +80,9 @@ class TestMirroringModule:
             out["blob"] = blob
 
         cloud.run(cloud.process(setup()))
-        module = MirroringModule(repo, "node-001", "vm-test", out["blob"],
-                                 disk_size=SMALL.vm.disk_size)
+        module = MirroringModule(
+            repo, "node-001", "vm-test", out["blob"], disk_size=SMALL.vm.disk_size
+        )
         return cloud, repo, module
 
     def test_reads_fall_through_to_base(self):
@@ -117,8 +118,9 @@ class TestMirroringModule:
         cloud.run(cloud.process(scenario()))
         result = out["result"]
         assert result.bytes_written >= 600_000
-        data = repo.client.read(module.checkpoint_blob_id, 2_000_000, 600_000,
-                                version=result.version)
+        data = repo.client.read(
+            module.checkpoint_blob_id, 2_000_000, 600_000, version=result.version
+        )
         assert data.read(0, 4096) == SyntheticBytes("payload", 600_000).read(0, 4096)
         # second commit only ships newly dirtied blocks
         module.write(2_000_000, LiteralBytes(b"tiny"))

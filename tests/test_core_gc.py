@@ -39,17 +39,17 @@ class TestRetention:
         repo = make_repo()
         client = repo.client
         blob = client.create_blob(CHUNK)
-        versions = [client.write(blob, 0, payload(("epoch", e))).version
-                    for e in range(4)]
+        versions = [client.write(blob, 0, payload(("epoch", e))).version for e in range(4)]
         pin = versions[0]
         collector = SnapshotGarbageCollector(repo, keep_latest=1)
         report = collector.collect(pinned={blob: [pin]})
 
         # The pinned version and the latest survive; the middle two are gone.
-        assert client.read(blob, 0, 4 * CHUNK, version=pin).read() == \
-            payload(("epoch", 0)).read()
-        assert client.read(blob, 0, 4 * CHUNK, version=versions[-1]).read() == \
-            payload(("epoch", 3)).read()
+        assert client.read(blob, 0, 4 * CHUNK, version=pin).read() == payload(("epoch", 0)).read()
+        assert (
+            client.read(blob, 0, 4 * CHUNK, version=versions[-1]).read()
+            == payload(("epoch", 3)).read()
+        )
         dropped = {v for b, v in report.dropped_versions if b == blob}
         assert versions[1] in dropped and versions[2] in dropped
         assert pin not in dropped and versions[-1] not in dropped
@@ -110,8 +110,7 @@ class TestRefcountedDedupCollection:
         assert report.retained_canonical_chunks == 4
         assert report.deleted_chunks == 0
         assert report.reclaimed_bytes == 0
-        assert client.read(blob_b, 0, shared.size, version=b_version).read() == \
-            shared.read()
+        assert client.read(blob_b, 0, shared.size, version=b_version).read() == shared.read()
 
         # Pass 2: drop blob B's old version -- the last references die and
         # the physical chunks are reclaimed.

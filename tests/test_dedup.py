@@ -59,8 +59,7 @@ class TestCodecs:
         assert codec.decompress_seconds(1000) == 0.0
 
     def test_simulated_codec_ratio_and_cpu(self):
-        codec = make_codec("zlib", ratio=2.0, compress_bandwidth=100.0,
-                           decompress_bandwidth=400.0)
+        codec = make_codec("zlib", ratio=2.0, compress_bandwidth=100.0, decompress_bandwidth=400.0)
         assert codec.stored_size(1000) == HEADER_BYTES + 500
         assert codec.compress_seconds(1000) == pytest.approx(10.0)
         assert codec.decompress_seconds(1000) == pytest.approx(2.5)
@@ -255,8 +254,9 @@ class TestCompressionAccounting:
         assert client.read(blob, 0, 2048).read() == SyntheticBytes("c", 2048).read()
 
     def test_cpu_seconds_surface_in_write_result(self):
-        engine = DedupEngine(make_codec("zlib", ratio=2.0, compress_bandwidth=1024.0),
-                             fingerprint_bandwidth=2048.0)
+        engine = DedupEngine(
+            make_codec("zlib", ratio=2.0, compress_bandwidth=1024.0), fingerprint_bandwidth=2048.0
+        )
         client = make_client(dedup=engine)
         blob = client.create_blob(1024)
         result = client.write(blob, 0, SyntheticBytes("cpu", 1024))
@@ -298,8 +298,7 @@ class TestBatchRollback:
     def test_failed_batch_rolls_back_aliases_refcounts_and_chunks(self):
         manager = ProviderManager()
         manager.register(DataProvider("p0", capacity=2048))
-        client = BlobClient(providers=manager, default_chunk_size=1024,
-                            dedup=DedupEngine())
+        client = BlobClient(providers=manager, default_chunk_size=1024, dedup=DedupEngine())
         blob = client.create_blob(1024)
         shared = SyntheticBytes("rb-shared", 1024)
         canonical_key = client.write(blob, 0, shared).chunks[0][0]
@@ -325,8 +324,11 @@ class TestBatchRollback:
         # 1024 logical bytes compress to 528; a 600-byte provider must accept.
         manager = ProviderManager()
         manager.register(DataProvider("p0", capacity=600))
-        client = BlobClient(providers=manager, default_chunk_size=1024,
-                            dedup=DedupEngine(make_codec("zlib", ratio=2.0)))
+        client = BlobClient(
+            providers=manager,
+            default_chunk_size=1024,
+            dedup=DedupEngine(make_codec("zlib", ratio=2.0)),
+        )
         blob = client.create_blob(1024)
         payload = SyntheticBytes("fit", 1024)
         result = client.write(blob, 0, payload)

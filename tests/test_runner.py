@@ -33,7 +33,18 @@ from repro.util.units import MB
 
 SMALL = GRAPHENE.scaled(compute_nodes=6, service_nodes=3)
 
-CANONICAL = ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1"]
+CANONICAL = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "ft",
+    "scale",
+    "contention",
+]
 
 
 @pytest.fixture(scope="module")
@@ -209,6 +220,30 @@ class TestRegressionGate:
         slow["calibration"]["spin_time_s"] = fig7_artifact["calibration"]["spin_time_s"] * 20
         report = check_regression(fig7_artifact, slow)
         assert report.ok, report.failures
+
+    def test_new_experiments_need_an_explicit_baseline(self, fig7_artifact):
+        extended = copy.deepcopy(fig7_artifact)
+        extended["experiments"]["ft"] = {"rows": [], "wall_time_s": 1.0}
+        report = check_regression(fig7_artifact, extended)
+        assert not report.ok
+        assert any("without a committed baseline" in f for f in report.failures)
+        allowed = check_regression(fig7_artifact, extended, allow_new=True)
+        assert allowed.ok, allowed.failures
+        assert any("ungated" in line for line in allowed.lines)
+        # Baseline-only experiments are reported, not silently skipped.
+        report = check_regression(extended, fig7_artifact)
+        assert report.ok, report.failures
+        assert any("baseline-only" in line for line in report.lines)
+
+    def test_allow_new_covers_an_all_new_artifact(self, fig7_artifact):
+        # Recording a brand-new scenario alone: nothing shared with the
+        # baseline, but --allow-new-experiments accounts for all of it.
+        novel = copy.deepcopy(fig7_artifact)
+        novel["experiments"] = {"newscenario": {"rows": [], "wall_time_s": 1.0}}
+        assert not check_regression(fig7_artifact, novel).ok
+        report = check_regression(fig7_artifact, novel, allow_new=True)
+        assert report.ok, report.failures
+        assert any("ungated" in line for line in report.lines)
 
     def test_determinism_gate(self, fig7_artifact):
         assert check_determinism(fig7_artifact, fig7_artifact).ok
