@@ -9,7 +9,8 @@ import dataclasses
 
 from conftest import attach_rows
 
-from repro.experiments.harness import ExperimentResult, run_synthetic_scenario
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import run_synthetic_scenario
 from repro.util.config import GRAPHENE
 from repro.util.units import KiB, MB
 
@@ -80,11 +81,11 @@ def test_ablation_prefetch(benchmark):
     """Adaptive prefetching on/off for restart (design principle 3.1.4)."""
     from repro.apps.synthetic import SyntheticBenchmark
     from repro.cluster.cloud import Cloud
-    from repro.core import BlobCRDeployment
+    from repro.core.backends import create_backend
 
     def run_one(prefetch: bool) -> float:
         cloud = Cloud(GRAPHENE.scaled(compute_nodes=12))
-        deployment = BlobCRDeployment(cloud, adaptive_prefetch=prefetch)
+        deployment = create_backend("blobcr", cloud, adaptive_prefetch=prefetch)
         bench = SyntheticBenchmark(deployment, 50 * MB)
         out = {}
 

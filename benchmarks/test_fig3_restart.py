@@ -3,7 +3,7 @@
 from conftest import attach_rows
 
 from repro.experiments import run_fig3
-from repro.experiments.harness import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
+from repro.scenarios.workloads import BENCH_SCALE_POINTS, PAPER_SCALE_POINTS
 
 
 def test_fig3_restart_time(benchmark, paper_scale):

@@ -1,70 +1,59 @@
 #!/usr/bin/env python3
 """CM1 hurricane case study: application-level vs process-level checkpoints.
 
-Reproduces the structure of the paper's Section 4.4 at laptop scale: a
-CM1-like 3-D atmospheric model runs over several quad-core VM instances
-(4 MPI processes each), performs real stencil iterations with halo exchange,
-and is checkpointed both with its own restart files (application-level) and
-transparently through the coordinated BLCR protocol (process-level).  The
-example reports the checkpoint times and snapshot sizes of both, and shows
-why the BLCR snapshots are so much larger.
+Reproduces the structure of the paper's Section 4.4 at laptop scale through
+the public ``repro.api`` facade: a CM1-like 3-D atmospheric model runs over
+several quad-core VM instances (4 MPI processes each), performs real stencil
+iterations with halo exchange, and is checkpointed both with its own restart
+files (application-level) and transparently through the coordinated BLCR
+protocol (process-level).  The example reports the checkpoint times and
+snapshot sizes of both, and shows why the BLCR snapshots are so much larger.
+
+The session owns the cloud and the simulation clock; the CM1 application's
+generator-based workflow is driven through ``session.drive(...)``.
 
 Run with:  python examples/cm1_hurricane.py
 """
 
 import numpy as np
 
+from repro.api import GRAPHENE, Session
 from repro.apps.cm1 import CM1Application, CM1Config
-from repro.cluster import Cloud
-from repro.core import BlobCRDeployment
 from repro.util import format_bytes, format_duration
-from repro.util.config import GRAPHENE
 
 
 def main() -> None:
-    spec = GRAPHENE.scaled(compute_nodes=8, service_nodes=3)
-    cloud = Cloud(spec)
-    deployment = BlobCRDeployment(cloud)
+    session = Session.from_spec(GRAPHENE.scaled(compute_nodes=8, service_nodes=3))
+    session.deploy("blobcr", n=4, processes_per_instance=4)
+
     config = CM1Config(nx=24, ny=24, nz=16, fields=4)  # laptop-sized subdomains
-    app = CM1Application(deployment, config, processes_per_instance=4)
-    report = {}
+    app = CM1Application(session.deployment, config, processes_per_instance=4)
+    app.init_domain(materialise_state=True)
+    before = {rank: state.copy() for rank, state in app._state.items()}
+    session.drive(app.run_iterations(6, materialised=True), name="cm1-iterations")
+    # The stencil actually changed the prognostic fields.
+    changed = any(not np.allclose(before[r], app._state[r]) for r in before)
 
-    def scenario():
-        yield from deployment.deploy(4, processes_per_instance=4)
-        app.init_domain(materialise_state=True)
-        before = {rank: state.copy() for rank, state in app._state.items()}
-        yield from app.run_iterations(6, materialised=True)
-        # The stencil actually changed the prognostic fields.
-        changed = any(not np.allclose(before[r], app._state[r]) for r in before)
-        report["numerics_changed"] = changed
-
-        ckpt_app, t_app = yield from app.checkpoint_app_level()
-        ckpt_blcr, t_blcr = yield from app.checkpoint_process_level()
-        report["app_time"] = t_app
-        report["blcr_time"] = t_blcr
-        report["app_size"] = ckpt_app.max_snapshot_bytes
-        report["blcr_size"] = ckpt_blcr.max_snapshot_bytes
-        report["app_dump"] = config.state_bytes_per_process * 4
-        report["blcr_dump"] = config.memory_bytes_per_process * 4
-        report["iterations"] = app.iteration
-
-    cloud.run(cloud.process(scenario()))
+    ckpt_app, t_app = session.drive(app.checkpoint_app_level(), name="cm1-ckpt-app")
+    ckpt_blcr, t_blcr = session.drive(app.checkpoint_process_level(), name="cm1-ckpt-blcr")
 
     print("CM1 hurricane simulation on 4 quad-core VM instances (16 MPI processes)")
-    print(f"  iterations executed                : {report['iterations']}")
-    print(f"  stencil changed the fields         : {report['numerics_changed']}")
-    print(f"  application-level checkpoint time  : {format_duration(report['app_time'])}")
-    print(f"  process-level (BLCR) checkpoint    : {format_duration(report['blcr_time'])}")
+    print(f"  iterations executed                : {app.iteration}")
+    print(f"  stencil changed the fields         : {changed}")
+    print(f"  application-level checkpoint time  : {format_duration(t_app)}")
+    print(f"  process-level (BLCR) checkpoint    : {format_duration(t_blcr)}")
     print(
-        f"  1st (app) snapshot per instance    : {format_bytes(report['app_size'])}"
+        f"  1st (app) snapshot per instance    : {format_bytes(ckpt_app.max_snapshot_bytes)}"
         "  (restart files + guest OS noise)"
     )
     print(
-        f"  2nd (BLCR) incremental snapshot    : {format_bytes(report['blcr_size'])}"
+        f"  2nd (BLCR) incremental snapshot    : {format_bytes(ckpt_blcr.max_snapshot_bytes)}"
         "  (only the newly written context files)"
     )
-    print(f"  state dumped by the application    : {format_bytes(report['app_dump'])} per VM")
-    print(f"  memory dumped by BLCR              : {format_bytes(report['blcr_dump'])} per VM")
+    app_dump = config.state_bytes_per_process * 4
+    blcr_dump = config.memory_bytes_per_process * 4
+    print(f"  state dumped by the application    : {format_bytes(app_dump)} per VM")
+    print(f"  memory dumped by BLCR              : {format_bytes(blcr_dump)} per VM")
     print("  -> BLCR dumps every allocated byte (scratch arrays included), which is")
     print("     why the paper's Table 1 shows process-level snapshots 2-3x larger;")
     print("     successive snapshots stay small because only increments are shipped.")

@@ -1,70 +1,59 @@
 #!/usr/bin/env python3
 """Fault tolerance end to end: periodic checkpoints, a crash, rollback, GC.
 
-A long-running synthetic application takes periodic global checkpoints.
-After the third checkpoint the whole application is lost (under the paper's
-fail-stop model every VM instance and its local state disappears -- here we
-terminate all instances, which is exactly what a crash leaves behind).  The
-example then rolls back to the last globally consistent checkpoint, restarts
-on different nodes, verifies the restored state, and finally runs the
-transparent snapshot garbage collector (the paper's future-work extension) to
-reclaim the space of the two obsoleted checkpoints.
+A long-running synthetic application takes periodic global checkpoints
+through the ``repro.api`` session facade.  After the third checkpoint the
+whole application is lost (under the paper's fail-stop model every VM
+instance and its local state disappears -- here we restart from the last
+checkpoint, which is exactly what recovery from a crash does).  The example
+rolls back to the last globally consistent checkpoint, restarts on different
+nodes, verifies the restored state, and finally runs the transparent
+snapshot garbage collector (the paper's future-work extension) to reclaim
+the space of the two obsoleted checkpoints.
 
 Run with:  python examples/failure_recovery.py
 """
 
+from repro.api import GRAPHENE, Session
 from repro.apps.synthetic import SyntheticBenchmark
-from repro.cluster import Cloud
-from repro.core import BlobCRDeployment, SnapshotGarbageCollector
+from repro.core import SnapshotGarbageCollector
 from repro.util import format_bytes, format_duration
-from repro.util.config import GRAPHENE
 from repro.util.units import MB
 
 
 def main() -> None:
-    spec = GRAPHENE.scaled(compute_nodes=10, service_nodes=3)
-    cloud = Cloud(spec)
-    deployment = BlobCRDeployment(cloud)
-    bench = SyntheticBenchmark(deployment, 20 * MB)
-    report = {}
+    session = Session.from_spec(GRAPHENE.scaled(compute_nodes=10, service_nodes=3))
+    session.deploy("blobcr", n=6)
+    bench = SyntheticBenchmark(session.deployment, 20 * MB)
 
-    def scenario():
-        yield from deployment.deploy(6, processes_per_instance=1)
-        # Periodic checkpointing: three epochs of work, checkpoint after each.
-        checkpoints = []
-        for _ in range(3):
-            bench.fill_buffers()
-            checkpoint = yield from bench.checkpoint_app_level()
-            checkpoints.append(checkpoint)
-            yield cloud.env.timeout(30.0)  # the application keeps computing
+    # Periodic checkpointing: three epochs of work, checkpoint after each.
+    for _ in range(3):
+        bench.fill_buffers()
+        session.drive(bench.checkpoint_app_level(), name="periodic-checkpoint")
+        session.advance(30.0)  # the application keeps computing
 
-        # Crash: all instances (and everything they wrote since the last
-        # checkpoint) are gone.  Roll back to the most recent globally
-        # consistent checkpoint and restart on different compute nodes.
-        t0 = cloud.now
-        latest = checkpoints[-1]
-        yield from bench.restart(latest)
-        report["restart_time"] = cloud.now - t0
-        report["state_ok"] = bench.verify_restored_state()
-        report["checkpoints_taken"] = len(checkpoints)
+    # Crash: all instances (and everything they wrote since the last
+    # checkpoint) are gone.  Roll back to the most recent globally
+    # consistent checkpoint and restart on different compute nodes.
+    latest = session.deployment.checkpoints[-1]
+    t0 = session.now
+    session.drive(bench.restart(latest), name="rollback-restart")
+    restart_time = session.now - t0
+    state_ok = bench.verify_restored_state()
 
-        # Reclaim the space of the two obsoleted checkpoints.
-        before = deployment.storage_used_bytes()
-        collector = SnapshotGarbageCollector(deployment.repository, keep_latest=1)
-        gc_report = collector.collect()
-        report["gc_reclaimed"] = gc_report.reclaimed_bytes
-        report["storage_before"] = before
-        report["storage_after"] = deployment.storage_used_bytes()
-
-    cloud.run(cloud.process(scenario()))
+    # Reclaim the space of the two obsoleted checkpoints.
+    before = session.deployment.storage_used_bytes()
+    collector = SnapshotGarbageCollector(session.deployment.repository, keep_latest=1)
+    gc_report = collector.collect()
+    after = session.deployment.storage_used_bytes()
 
     print("Crash recovery with BlobCR (periodic checkpoints + rollback + GC)")
-    print(f"  checkpoints taken before crash : {report['checkpoints_taken']}")
-    print(f"  rollback + restart duration    : {format_duration(report['restart_time'])}")
-    print(f"  restored state verified        : {report['state_ok']}")
-    print(f"  storage before GC              : {format_bytes(report['storage_before'])}")
-    print(f"  reclaimed by snapshot GC       : {format_bytes(report['gc_reclaimed'])}")
-    print(f"  storage after GC               : {format_bytes(report['storage_after'])}")
+    print(f"  checkpoints taken before crash : {len(session.deployment.checkpoints)}")
+    print(f"  rollback + restart duration    : {format_duration(restart_time)}")
+    print(f"  restored state verified        : {state_ok}")
+    print(f"  storage before GC              : {format_bytes(before)}")
+    print(f"  reclaimed by snapshot GC       : {format_bytes(gc_report.reclaimed_bytes)}")
+    print(f"  storage after GC               : {format_bytes(after)}")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Quickstart: deploy, checkpoint, kill, restart -- and verify the rollback.
 
-This walks the complete BlobCR workflow on a small simulated cloud:
+This walks the complete BlobCR workflow through the public ``repro.api``
+session facade on a small simulated cloud:
 
-1. deploy four VM instances from a base image striped into the BlobSeer-backed
-   checkpoint repository,
+1. deploy four VM instances from a base image via the ``blobcr`` backend
+   (resolved by name through the deployment-backend registry),
 2. have each instance write application state *and* a log file,
-3. take a global disk-image checkpoint through the checkpointing proxies,
+3. take a global disk-image checkpoint (a typed ``CheckpointResult``),
 4. let the application keep running (it appends more log lines),
 5. kill everything and restart from the checkpoint on different nodes,
 6. verify that the state files are back AND that the post-checkpoint log lines
@@ -15,69 +16,48 @@ This walks the complete BlobCR workflow on a small simulated cloud:
 Run with:  python examples/quickstart.py
 """
 
-from repro.cluster import Cloud
-from repro.core import BlobCRDeployment
-from repro.util import LiteralBytes, SyntheticBytes, format_bytes, format_duration
-from repro.util.config import GRAPHENE
+from repro.api import GRAPHENE, Session
+from repro.util import SyntheticBytes, format_bytes, format_duration
 
 
 def main() -> None:
-    spec = GRAPHENE.scaled(compute_nodes=8, service_nodes=3)
-    cloud = Cloud(spec)
-    deployment = BlobCRDeployment(cloud)
+    session = Session.from_spec(GRAPHENE.scaled(compute_nodes=8, service_nodes=3))
 
-    summary = {}
+    # 1. multi-deployment from the base image, backend resolved by name
+    deployed = session.deploy("blobcr", n=4)
 
-    def scenario():
-        # 1. multi-deployment from the base image
-        t0 = cloud.now
-        yield from deployment.deploy(4, processes_per_instance=1)
-        summary["deploy"] = cloud.now - t0
+    # 2. every instance writes its state and appends to a log
+    for i, instance_id in enumerate(deployed.instance_ids):
+        state = SyntheticBytes(("quickstart", i), 8_000_000)
+        session.guest_write(instance_id, "/ckpt/state.dat", state)
+        session.guest_write(instance_id, "/var/log/app.log", b"iteration 1 done\n", append=True)
 
-        # 2. every instance writes its state and appends to a log
-        for i, inst in enumerate(deployment.instances):
-            state = SyntheticBytes(("quickstart", i), 8_000_000)
-            yield from deployment.guest_write_and_sync(inst, "/ckpt/state.dat", state)
-            yield from deployment.guest_write_and_sync(
-                inst, "/var/log/app.log", LiteralBytes(b"iteration 1 done\n"), append=True
-            )
+    # 3. global checkpoint (suspend -> CLONE/COMMIT -> resume, per instance)
+    checkpoint = session.checkpoint(tag="quickstart")
 
-        # 3. global checkpoint (suspend -> CLONE/COMMIT -> resume, per instance)
-        t0 = cloud.now
-        checkpoint = yield from deployment.checkpoint_all(tag="quickstart")
-        summary["checkpoint"] = cloud.now - t0
-        summary["snapshot_bytes"] = checkpoint.max_snapshot_bytes
+    # 4. the application keeps running and writes more output ...
+    for instance_id in deployed.instance_ids:
+        session.guest_write(instance_id, "/var/log/app.log", b"iteration 2 done\n", append=True)
 
-        # 4. the application keeps running and writes more output ...
-        for inst in deployment.instances:
-            yield from deployment.guest_write_and_sync(
-                inst, "/var/log/app.log", LiteralBytes(b"iteration 2 done\n"), append=True
-            )
+    # 5. disaster: everything is killed; restart from the checkpoint
+    restart = session.restart(checkpoint)
 
-        # 5. disaster: everything is killed; restart from the checkpoint
-        t0 = cloud.now
-        yield from deployment.restart_all(checkpoint)
-        summary["restart"] = cloud.now - t0
+    # 6. verify state is back and post-checkpoint log lines rolled back
+    first = deployed.instance_ids[0]
+    state = session.guest_read(first, "/ckpt/state.dat")
+    expected = SyntheticBytes(("quickstart", 0), 8_000_000)
+    assert len(state) == expected.size
+    assert state[:4096] == expected.read(0, 4096)
+    log = session.guest_read(first, "/var/log/app.log")
+    assert b"iteration 1 done" in log
+    assert b"iteration 2 done" not in log, "post-checkpoint I/O must be rolled back"
 
-        # 6. verify state is back and post-checkpoint log lines rolled back
-        inst = deployment.instances[0]
-        state = inst.vm.filesystem.read_file("/ckpt/state.dat")
-        expected = SyntheticBytes(("quickstart", 0), 8_000_000)
-        assert state.size == expected.size
-        assert state.read(0, 4096) == expected.read(0, 4096)
-        log = inst.vm.filesystem.read_file("/var/log/app.log").to_bytes()
-        assert b"iteration 1 done" in log
-        assert b"iteration 2 done" not in log, "post-checkpoint I/O must be rolled back"
-        summary["rollback_ok"] = True
-
-    cloud.run(cloud.process(scenario()))
-
-    print("BlobCR quickstart on a simulated 8-node cloud")
-    print(f"  multi-deployment of 4 instances : {format_duration(summary['deploy'])}")
-    print(f"  global checkpoint               : {format_duration(summary['checkpoint'])}")
-    print(f"  snapshot size per instance      : {format_bytes(summary['snapshot_bytes'])}")
-    print(f"  restart on different nodes      : {format_duration(summary['restart'])}")
-    print(f"  state restored & I/O rolled back: {summary['rollback_ok']}")
+    print("BlobCR quickstart on a simulated 8-node cloud (via repro.api)")
+    print(f"  multi-deployment of 4 instances : {format_duration(deployed.duration_s)}")
+    print(f"  global checkpoint               : {format_duration(checkpoint.duration_s)}")
+    print(f"  snapshot size per instance      : {format_bytes(checkpoint.max_snapshot_bytes)}")
+    print(f"  restart on different nodes      : {format_duration(restart.duration_s)}")
+    print("  state restored & I/O rolled back: True")
 
 
 if __name__ == "__main__":

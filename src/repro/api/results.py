@@ -1,0 +1,87 @@
+"""Typed result objects returned by the :class:`~repro.api.session.Session`.
+
+The facade never hands callers raw generators or simulation internals: every
+operation returns one of these immutable records.  Where a record wraps a
+live engine object (the :class:`~repro.core.strategy.GlobalCheckpoint`
+behind a :class:`CheckpointResult`), the wrapped object is exposed as an
+explicit ``handle`` so advanced callers can drop down a layer without the
+facade depending on them doing so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.strategy import GlobalCheckpoint
+from repro.scenarios.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class DeployResult:
+    """Outcome of ``session.deploy(backend, n=...)``."""
+
+    backend: str
+    instance_ids: Tuple[str, ...]
+    duration_s: float
+    #: persistent storage consumed after deployment (base image)
+    storage_used_bytes: int
+
+    @property
+    def instances(self) -> int:
+        return len(self.instance_ids)
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """Outcome of ``session.checkpoint()``: one globally consistent snapshot."""
+
+    #: 1-based index of the global checkpoint within its deployment
+    index: int
+    duration_s: float
+    total_snapshot_bytes: int
+    max_snapshot_bytes: int
+    instance_ids: Tuple[str, ...]
+    #: the engine-level checkpoint object (restart target)
+    handle: GlobalCheckpoint = field(repr=False)
+
+
+@dataclass(frozen=True)
+class RestartResult:
+    """Outcome of ``session.restart(...)``: every instance back up."""
+
+    duration_s: float
+    bytes_restored: int
+    instance_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of ``session.run_scenario(name, ...)``.
+
+    ``rows`` are byte-identical to what the CLI prints/serialises for the
+    same scenario and configuration -- the facade drives the very same
+    registry, cell enumeration and merge machinery.
+    """
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, Any]]
+    #: executed cell keys, in canonical enumeration order
+    cell_keys: Tuple[str, ...]
+    #: host wall-clock time of the cell-execution phase, seconds
+    wall_time_s: float
+    #: total simulated time across the executed cells, seconds
+    sim_time_s: float
+    workers: int
+    paper_scale: bool
+
+    def result(self) -> ExperimentResult:
+        """The rows as the scenario layer's :class:`ExperimentResult`."""
+        return ExperimentResult(
+            experiment=self.experiment, description=self.description, rows=list(self.rows)
+        )
+
+    def to_table(self) -> str:
+        """Render the rows exactly as ``blobcr-repro`` prints them."""
+        return self.result().to_table()

@@ -1,0 +1,299 @@
+"""The public session facade.
+
+A :class:`Session` is the one object an application needs in order to use
+the reproduction as a *service*: it owns the simulated cloud, resolves
+deployment backends by name through the registry, drives the simulation
+clock internally, and returns typed results instead of raw generators.
+
+::
+
+    from repro.api import Session
+
+    session = Session.from_spec(ClusterSpec(...))        # or Session()
+    session.deploy("blobcr", n=32)
+    ckpt = session.checkpoint()
+    session.restart(ckpt)
+    report = session.run_scenario("ft", overrides={"ft.mtbf": "300|900"})
+
+``run_scenario`` composes the exact same object graph the CLI builds for
+the same scenario and configuration, so its rows are byte-identical to
+``blobcr-repro <scenario> --json -`` at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Mapping, Optional, Union
+
+from repro.api.results import CheckpointResult, DeployResult, RestartResult, RunReport
+from repro.cluster.cloud import Cloud
+from repro.core.backends import BackendInfo, backend_names, create_backend, get_backend
+from repro.core.strategy import DeployedInstance, Deployment
+from repro.runner import ParallelRunner, RunConfig, load_all, parse_selectors
+from repro.scenarios.overrides import resolve_cluster_spec
+from repro.util.bytesource import ByteSource, LiteralBytes
+from repro.util.config import GRAPHENE, ClusterSpec
+from repro.util.errors import ConfigurationError
+
+#: override input accepted by :meth:`Session.run_scenario`: either raw
+#: ``"key=value"`` strings (the CLI form) or a mapping ``{key: value}``
+Overrides = Union[Mapping[str, Any], Iterable[str]]
+
+
+def _normalise_overrides(overrides: Overrides) -> List[str]:
+    if isinstance(overrides, Mapping):
+        return [f"{key}={value}" for key, value in overrides.items()]
+    return [str(item) for item in overrides]
+
+
+class Session:
+    """Programmatic entry point: cloud lifecycle + backend resolution.
+
+    One session owns one simulated cloud and at most one deployment; the
+    scenario runner (:meth:`run_scenario`) builds its own per-cell clouds,
+    exactly like the CLI, so it can be used on a fresh session without
+    deploying anything.
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None):
+        #: the caller's spec, or None for "each layer's default" -- kept as
+        #: given so run_scenario passes the same value the CLI would
+        self._spec = spec
+        self._cloud: Optional[Cloud] = None
+        self._deployment: Optional[Deployment] = None
+        self._backend_name: Optional[str] = None
+        self._checkpoints: List[CheckpointResult] = []
+
+    @classmethod
+    def from_spec(cls, spec: ClusterSpec) -> "Session":
+        """Build a session over an explicit cluster calibration."""
+        return cls(spec)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """The effective cluster calibration of this session."""
+        return self._spec or GRAPHENE
+
+    @property
+    def cloud(self) -> Cloud:
+        """The session's simulated cloud (constructed on first use)."""
+        if self._cloud is None:
+            self._cloud = Cloud(self.spec)
+        return self._cloud
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self.cloud.now
+
+    @property
+    def deployment(self) -> Deployment:
+        """The active deployment strategy (after :meth:`deploy`)."""
+        if self._deployment is None:
+            raise ConfigurationError("nothing is deployed in this session yet; call deploy()")
+        return self._deployment
+
+    @property
+    def backend(self) -> str:
+        """Name of the deployed backend."""
+        if self._backend_name is None:
+            raise ConfigurationError("nothing is deployed in this session yet; call deploy()")
+        return self._backend_name
+
+    @property
+    def instance_ids(self) -> tuple:
+        return tuple(inst.instance_id for inst in self.deployment.instances)
+
+    @property
+    def checkpoints(self) -> tuple:
+        """Every checkpoint taken through this session, oldest first."""
+        return tuple(self._checkpoints)
+
+    @staticmethod
+    def backends() -> List[BackendInfo]:
+        """The registered deployment backends (capabilities + option schema)."""
+        return [get_backend(name) for name in backend_names()]
+
+    # -- simulation driving ------------------------------------------------------------
+
+    def drive(self, generator: Generator, name: str = "api-drive") -> Any:
+        """Run one simulation process to completion and return its value.
+
+        The escape hatch for application-level workflows (CM1 iterations,
+        coordinated MPI checkpoints, ...) that are written as generators:
+        the facade owns the clock, the caller keeps its workflow.
+        """
+        return self.cloud.run(self.cloud.process(generator, name=name))
+
+    def advance(self, seconds: float) -> float:
+        """Let the simulation idle for ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by a negative duration ({seconds})")
+
+        def _idle():
+            yield self.cloud.env.timeout(seconds)
+
+        self.drive(_idle(), name="api-advance")
+        return self.now
+
+    # -- deployment lifecycle ----------------------------------------------------------
+
+    def deploy(
+        self,
+        backend: str = "blobcr",
+        n: int = 1,
+        processes_per_instance: int = 1,
+        **options: Any,
+    ) -> DeployResult:
+        """Deploy ``n`` instances from the base image using the named backend.
+
+        ``options`` are validated against the backend's registered option
+        schema (e.g. ``adaptive_prefetch=False`` for ``blobcr``); ``n`` is
+        validated by the strategy base class (``n <= 0`` raises ValueError).
+        """
+        if self._deployment is not None:
+            raise ConfigurationError(
+                f"this session already runs a {self._backend_name!r} deployment; "
+                "use a fresh Session per deployment"
+            )
+        info = get_backend(backend)
+        deployment = create_backend(backend, self.cloud, **options)
+        started = self.now
+        self.drive(
+            deployment.deploy(n, processes_per_instance=processes_per_instance),
+            name=f"api-deploy:{info.name}",
+        )
+        self._deployment = deployment
+        self._backend_name = info.name
+        return DeployResult(
+            backend=info.name,
+            instance_ids=tuple(inst.instance_id for inst in deployment.instances),
+            duration_s=self.now - started,
+            storage_used_bytes=deployment.storage_used_bytes(),
+        )
+
+    def checkpoint(self, tag: str = "") -> CheckpointResult:
+        """Take a global (disk-snapshot) checkpoint of every instance."""
+        deployment = self.deployment
+        started = self.now
+        checkpoint = self.drive(deployment.checkpoint_all(tag=tag), name="api-checkpoint")
+        result = CheckpointResult(
+            index=checkpoint.index,
+            duration_s=self.now - started,
+            total_snapshot_bytes=checkpoint.total_snapshot_bytes,
+            max_snapshot_bytes=checkpoint.max_snapshot_bytes,
+            instance_ids=tuple(checkpoint.records),
+            handle=checkpoint,
+        )
+        self._checkpoints.append(result)
+        return result
+
+    def kill(self) -> None:
+        """Fail-stop every instance (what a crash leaves behind)."""
+        self.deployment.kill_all()
+
+    def restart(self, checkpoint: Optional[CheckpointResult] = None) -> RestartResult:
+        """Kill everything and restart from ``checkpoint`` on different nodes.
+
+        Defaults to the most recent checkpoint taken through this session.
+        """
+        deployment = self.deployment
+        if checkpoint is None:
+            if not self._checkpoints:
+                raise ValueError("no checkpoint to restart from; call checkpoint() first")
+            checkpoint = self._checkpoints[-1]
+        started = self.now
+        report = self.drive(deployment.restart_all(checkpoint.handle), name="api-restart")
+        return RestartResult(
+            duration_s=self.now - started,
+            bytes_restored=report.bytes_restored,
+            instance_ids=tuple(report.instances),
+        )
+
+    # -- guest I/O conveniences --------------------------------------------------------
+
+    def _instance(self, instance_id: str) -> DeployedInstance:
+        return self.deployment.instance_by_id(instance_id)
+
+    def guest_write(
+        self,
+        instance_id: str,
+        path: str,
+        data: Union[bytes, ByteSource],
+        append: bool = False,
+    ) -> int:
+        """Write a guest file and ``sync`` it (stage 1 of a checkpoint)."""
+        source = data if isinstance(data, ByteSource) else LiteralBytes(bytes(data))
+        return self.drive(
+            self.deployment.guest_write_and_sync(
+                self._instance(instance_id), path, source, append=append
+            ),
+            name=f"api-write:{instance_id}",
+        )
+
+    def guest_read(self, instance_id: str, path: str) -> bytes:
+        """Read a guest file back (charging the local disk time)."""
+        data = self.drive(
+            self.deployment.guest_read(self._instance(instance_id), path),
+            name=f"api-read:{instance_id}",
+        )
+        return data.to_bytes()
+
+    # -- scenarios ---------------------------------------------------------------------
+
+    def run_scenario(
+        self,
+        name: str,
+        overrides: Overrides = (),
+        cells: Iterable[str] = (),
+        paper_scale: bool = False,
+        workers: int = 1,
+        seed: Optional[int] = None,
+        progress: Optional[Callable] = None,
+    ) -> RunReport:
+        """Run one registered scenario and return its merged rows.
+
+        Mirrors the CLI configuration pipeline exactly (same override
+        validation, same cluster-spec folding, same cell enumeration and
+        merge), so the rows are byte-identical to ``blobcr-repro <name>``
+        with the equivalent flags.
+        """
+        names = load_all()
+        if name not in names:
+            raise ConfigurationError(f"unknown scenario {name!r} (known: {', '.join(names)})")
+        raw = _normalise_overrides(overrides)
+        # The same validation/folding pipeline the CLI runs -- sharing it is
+        # what keeps API rows byte-identical to CLI rows by construction.
+        spec = resolve_cluster_spec(raw, names, [name], base_spec=self._spec, seed=seed)
+        selectors = parse_selectors(list(cells))
+        foreign = sorted({s.text for s in selectors if s.experiment != name})
+        if foreign:
+            raise ConfigurationError(
+                f"cell selector(s) outside scenario {name!r}: {', '.join(foreign)}"
+            )
+        config = RunConfig(paper_scale=paper_scale, spec=spec, overrides=tuple(raw), seed=seed)
+        runner = ParallelRunner(workers=workers, progress=progress)
+        report = runner.run([name], config, selectors)
+        merged = report.results[0]
+        return RunReport(
+            experiment=merged.experiment,
+            description=merged.description,
+            rows=[dict(row) for row in merged.rows],
+            cell_keys=tuple(result.key for result in report.cell_results),
+            wall_time_s=report.wall_time_s,
+            sim_time_s=report.total_sim_time_s,
+            workers=workers,
+            paper_scale=paper_scale,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        deployed = (
+            f"{self._backend_name}:{len(self._deployment.instances)}"
+            if self._deployment is not None
+            else "none"
+        )
+        return f"<Session deployed={deployed} t={self.now:.3f}>"
+
+
+__all__ = ["Overrides", "Session"]

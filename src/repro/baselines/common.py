@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Generator, Optional
 
 from repro.cluster.cloud import Cloud
-from repro.cluster.hypervisor import DEFAULT_BOOT_READ_BYTES, Hypervisor
+from repro.cluster.hypervisor import DEFAULT_BOOT_READ_BYTES
 from repro.cluster.pvfs import PVFSDeployment
 from repro.core.baseimage import build_base_image
 from repro.core.strategy import DeployedInstance, Deployment
@@ -40,18 +40,9 @@ class QcowPVFSDeployment(Deployment):
         self.pvfs = pvfs or PVFSDeployment(cloud)
         self._base_image = base_image
         self.boot_read_bytes = boot_read_bytes
-        self._hypervisors: Dict[str, Hypervisor] = {}
         self._base_uploaded = False
 
     # -- infrastructure helpers -----------------------------------------------------------
-
-    def _hypervisor(self, node_name: str) -> Hypervisor:
-        if node_name not in self._hypervisors:
-            node = self.cloud.node(node_name)
-            self._hypervisors[node_name] = Hypervisor(
-                self.cloud.env, node, self.cloud.spec.vm, jitter=self.cloud.jittered
-            )
-        return self._hypervisors[node_name]
 
     def ensure_base_image(self, uploader_node: Optional[str] = None) -> Generator:
         """Simulation process: store the base raw image in PVFS once."""
@@ -90,7 +81,7 @@ class QcowPVFSDeployment(Deployment):
 
     # -- deployment --------------------------------------------------------------------------
 
-    def deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
+    def _deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
         yield from self.ensure_base_image()
         node_names = self._place_instances(count)
         boots = []
@@ -100,7 +91,7 @@ class QcowPVFSDeployment(Deployment):
             overlay = self._new_overlay(instance_id)
             instance = DeployedInstance(
                 instance_id=instance_id, vm=vm, node_name=node_name,
-                hypervisor=self._hypervisor(node_name), backend=overlay,
+                hypervisor=self.hypervisors.get(node_name), backend=overlay,
             )
             self.instances.append(instance)
             boots.append(self.cloud.process(
@@ -112,7 +103,7 @@ class QcowPVFSDeployment(Deployment):
 
     def _boot_instance(self, instance: DeployedInstance, processes_per_instance: int) -> Generator:
         overlay: QcowImage = instance.backend
-        hypervisor = self._hypervisor(instance.node_name)
+        hypervisor = self.hypervisors.get(instance.node_name)
         yield from hypervisor.boot(
             instance.vm, overlay,
             image_reader=self._pvfs_boot_reader(instance.instance_id, instance.node_name),

@@ -14,11 +14,17 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.baselines.common import QcowPVFSDeployment
+from repro.core.backends import BackendCapabilities, register_backend
 from repro.core.strategy import CheckpointRecord, DeployedInstance
 from repro.util.errors import RestartError
 from repro.vdisk.qcow2 import QcowImage
 
 
+@register_backend(
+    "qcow2-disk",
+    capabilities=BackendCapabilities(),
+    description="full qcow2 disk-image copies to PVFS on every checkpoint",
+)
 class Qcow2DiskDeployment(QcowPVFSDeployment):
     """Disk-only qcow2 snapshots stored on PVFS (``qcow2-disk-app/blcr``)."""
 
@@ -30,7 +36,7 @@ class Qcow2DiskDeployment(QcowPVFSDeployment):
 
     def checkpoint_instance(self, instance: DeployedInstance, tag: str = "") -> Generator:
         overlay: QcowImage = instance.backend
-        hypervisor = self._hypervisor(instance.vm.host or instance.node_name)
+        hypervisor = self.hypervisors.get(instance.vm.host or instance.node_name)
         started = self.cloud.now
         yield self.cloud.env.timeout(self.cloud.spec.checkpoint.proxy_roundtrip)
         yield from hypervisor.suspend(instance.vm)
@@ -63,7 +69,7 @@ class Qcow2DiskDeployment(QcowPVFSDeployment):
         )
         instance.backend = overlay
         instance.node_name = target_node
-        hypervisor = self._hypervisor(target_node)
+        hypervisor = self.hypervisors.get(target_node)
         yield from hypervisor.boot(
             instance.vm, overlay,
             image_reader=self._pvfs_boot_reader(instance.instance_id, target_node),

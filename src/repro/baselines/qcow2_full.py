@@ -14,12 +14,18 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.baselines.common import QcowPVFSDeployment
+from repro.core.backends import BackendCapabilities, register_backend
 from repro.core.strategy import CheckpointRecord, DeployedInstance
 from repro.guest.filesystem import GuestFileSystem
 from repro.util.errors import RestartError
 from repro.vdisk.qcow2 import QcowImage
 
 
+@register_backend(
+    "qcow2-full",
+    capabilities=BackendCapabilities(live_migration=True),
+    description="savevm full VM snapshots (disk + RAM + devices) copied to PVFS",
+)
 class Qcow2FullDeployment(QcowPVFSDeployment):
     """Full VM snapshots stored on PVFS (``qcow2-full``)."""
 
@@ -33,7 +39,7 @@ class Qcow2FullDeployment(QcowPVFSDeployment):
 
     def checkpoint_instance(self, instance: DeployedInstance, tag: str = "") -> Generator:
         overlay: QcowImage = instance.backend
-        hypervisor = self._hypervisor(instance.vm.host or instance.node_name)
+        hypervisor = self.hypervisors.get(instance.vm.host or instance.node_name)
         started = self.cloud.now
         snapshot_name = f"ckpt-{self._checkpoint_index:04d}"
         # savevm: suspend, dump RAM + device state into the image, resume.
@@ -61,7 +67,7 @@ class Qcow2FullDeployment(QcowPVFSDeployment):
         snapshot = overlay.revert_to_internal_snapshot(snapshot_name)
         instance.backend = overlay
         instance.node_name = target_node
-        hypervisor = self._hypervisor(target_node)
+        hypervisor = self.hypervisors.get(target_node)
         fs = GuestFileSystem.mount(overlay)
         yield from hypervisor.resume_from_snapshot(instance.vm, overlay, fs=fs)
         # RAM and device state are restored in place; report the volume that

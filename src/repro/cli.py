@@ -17,6 +17,8 @@ registry-driven parallel runner and prints the resulting tables.
 * ``--json`` dumps every regenerated table as machine-readable JSON;
   ``--artifact`` writes the schema-versioned perf artifact (per-cell wall and
   simulated times, environment, calibration) the CI benchmark gate consumes.
+* ``--list-backends`` shows the deployment-backend registry (capabilities and
+  option schemas); programmatic use goes through :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.core.backends import backend_names, get_backend
 from repro.runner import (
     ParallelRunner,
     RunConfig,
@@ -35,8 +38,7 @@ from repro.runner import (
     write_artifact,
 )
 from repro.runner.cells import CellResult
-from repro.scenarios.overrides import apply_cluster_overrides, split_overrides
-from repro.util.config import GRAPHENE
+from repro.scenarios.overrides import resolve_cluster_spec
 from repro.util.errors import ConfigurationError
 
 
@@ -76,6 +78,11 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
         "--list-cells",
         action="store_true",
         help="list the addressable cell keys of the selected experiments and exit",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered deployment backends (capabilities, options) and exit",
     )
     parser.add_argument(
         "--override",
@@ -127,6 +134,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser(names)
     args = parser.parse_args(argv)
 
+    if args.list_backends:
+        for name in backend_names():
+            info = get_backend(name)
+            options = ", ".join(info.options) or "-"
+            print(f"{info.name}: {info.description}")
+            print(f"    capabilities: {info.capabilities.summary()}")
+            print(f"    options: {options}")
+        return 0
+
     unknown = [e for e in args.experiments if e not in names]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
@@ -155,30 +171,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     try:
-        # Validates every override and splits off the cluster-level ones;
-        # scenario-axis overrides are applied at cell-enumeration time.
-        cluster_overrides, scenario_overrides = split_overrides(args.override, names)
-        # An override addressed to a scenario that is not part of this run
-        # would be silently inert (and still recorded in the artifact), so
-        # reject it like any other configuration mistake.
-        misdirected = sorted(
-            {
-                raw.split(".", 1)[0]
-                for raw in scenario_overrides
-                if raw.split(".", 1)[0] not in experiments
-            }
+        # One shared pipeline with repro.api: validate every override (the
+        # misdirected ones would be silently inert yet recorded in the
+        # artifact) and fold the cluster-level ones plus --seed into the
+        # run's cluster spec.
+        cluster_spec = resolve_cluster_spec(
+            args.override, names, experiments, seed=args.seed
         )
-        if misdirected:
-            parser.error(
-                "override(s) target experiment(s) not selected for this run: "
-                + ", ".join(misdirected)
-            )
-        cluster_spec = None
-        if cluster_overrides or args.seed is not None:
-            cluster_spec = GRAPHENE
-            if args.seed is not None:
-                cluster_spec = cluster_spec.scaled(seed=args.seed)
-            cluster_spec = apply_cluster_overrides(cluster_spec, cluster_overrides)
     except ConfigurationError as exc:
         parser.error(str(exc))
 

@@ -38,6 +38,39 @@ DEFAULT_BOOT_READ_BYTES = 60 * 10**6
 ImageReader = Callable[[float, str], Event]
 
 
+class HypervisorCache:
+    """One lazily created :class:`Hypervisor` per compute node.
+
+    Every deployment strategy needs "the hypervisor of node X" in its boot,
+    snapshot and restart paths; historically BlobCR and the qcow2 baselines
+    each kept a private ``_hypervisors`` dict with identical construction
+    logic.  This is the single shared helper: the
+    :class:`~repro.core.strategy.Deployment` base class owns one instance
+    and the :mod:`repro.api` session facade exposes it.
+    """
+
+    def __init__(self, cloud):
+        self._cloud = cloud
+        self._hypervisors: dict[str, Hypervisor] = {}
+
+    def get(self, node_name: str) -> Hypervisor:
+        """The node's hypervisor, created on first use."""
+        hypervisor = self._hypervisors.get(node_name)
+        if hypervisor is None:
+            cloud = self._cloud
+            hypervisor = Hypervisor(
+                cloud.env, cloud.node(node_name), cloud.spec.vm, jitter=cloud.jittered
+            )
+            self._hypervisors[node_name] = hypervisor
+        return hypervisor
+
+    def __len__(self) -> int:
+        return len(self._hypervisors)
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self._hypervisors
+
+
 class Hypervisor:
     """Boot/suspend/resume/savevm for the VMs of one compute node."""
 

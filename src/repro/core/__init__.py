@@ -21,9 +21,24 @@ checkpoint-restart framework of the paper:
   coordinated checkpoint protocol extended with the sync + snapshot-request
   steps (Section 3.3),
 * :mod:`~repro.core.gc` -- transparent garbage collection of obsoleted
-  snapshots (the paper's future-work extension).
+  snapshots (the paper's future-work extension),
+* :mod:`~repro.core.backends` -- the deployment-backend registry: strategies
+  publish themselves under a name (``blobcr``, ``qcow2-disk``, ``qcow2-full``)
+  with capabilities and an option schema, and every entry point resolves them
+  through :func:`~repro.core.backends.create_backend` instead of hard-coding
+  classes.
 """
 
+from repro.core.backends import (
+    BackendCapabilities,
+    BackendInfo,
+    DeploymentBackend,
+    backend_names,
+    create_backend,
+    get_backend,
+    load_builtin_backends,
+    register_backend,
+)
 from repro.core.repository import CheckpointRepository
 from repro.core.device import RemoteBlobDevice
 from repro.core.mirroring import MirroringModule
@@ -35,8 +50,16 @@ from repro.core.gc import SnapshotGarbageCollector
 from repro.core.baseimage import build_base_image
 
 __all__ = [
+    "BackendCapabilities",
+    "BackendInfo",
     "CoordinatedCheckpoint",
+    "DeploymentBackend",
+    "backend_names",
     "build_base_image",
+    "create_backend",
+    "get_backend",
+    "load_builtin_backends",
+    "register_backend",
     "CheckpointRepository",
     "RemoteBlobDevice",
     "MirroringModule",

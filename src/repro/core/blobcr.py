@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, Generator, Optional, Set
 
 from repro.cluster.cloud import Cloud
-from repro.cluster.hypervisor import DEFAULT_BOOT_READ_BYTES, Hypervisor
+from repro.cluster.hypervisor import DEFAULT_BOOT_READ_BYTES
+from repro.core.backends import BackendCapabilities, register_backend
 from repro.core.baseimage import build_base_image
 from repro.core.mirroring import MirroringModule
 from repro.core.proxy import CheckpointProxy
@@ -34,6 +35,11 @@ from repro.util.errors import CheckpointError, RestartError
 from repro.vdisk.raw import RawImage
 
 
+@register_backend(
+    "blobcr",
+    capabilities=BackendCapabilities(incremental=True, dedup_capable=True),
+    description="BlobSeer-backed incremental disk-image snapshots (the paper's proposal)",
+)
 class BlobCRDeployment(Deployment):
     """Deployment strategy backed by BlobSeer disk-image snapshots."""
 
@@ -53,7 +59,6 @@ class BlobCRDeployment(Deployment):
         self.base_blob_id: Optional[int] = None
         self.adaptive_prefetch = adaptive_prefetch
         self.boot_read_bytes = boot_read_bytes
-        self._hypervisors: Dict[str, Hypervisor] = {}
         self._proxies: Dict[str, CheckpointProxy] = {}
         #: chunk keys already pulled close to the compute nodes; later boots
         #: of the same content hit this cache (adaptive prefetching, [25])
@@ -61,17 +66,9 @@ class BlobCRDeployment(Deployment):
 
     # -- infrastructure helpers ---------------------------------------------------------------
 
-    def _hypervisor(self, node_name: str) -> Hypervisor:
-        if node_name not in self._hypervisors:
-            node = self.cloud.node(node_name)
-            self._hypervisors[node_name] = Hypervisor(
-                self.cloud.env, node, self.cloud.spec.vm, jitter=self.cloud.jittered
-            )
-        return self._hypervisors[node_name]
-
     def _proxy(self, node_name: str) -> CheckpointProxy:
         if node_name not in self._proxies:
-            proxy = CheckpointProxy(self._hypervisor(node_name), self.cloud.spec.checkpoint)
+            proxy = CheckpointProxy(self.hypervisors.get(node_name), self.cloud.spec.checkpoint)
             self.cloud.node(node_name).register_service("checkpoint-proxy", proxy)
             self._proxies[node_name] = proxy
         return self._proxies[node_name]
@@ -121,7 +118,7 @@ class BlobCRDeployment(Deployment):
 
     # -- Deployment interface ----------------------------------------------------------------------
 
-    def deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
+    def _deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
         """Simulation process: multi-deploy ``count`` instances from the base image."""
         yield from self.ensure_base_image()
         node_names = self._place_instances(count)
@@ -135,7 +132,7 @@ class BlobCRDeployment(Deployment):
             )
             instance = DeployedInstance(
                 instance_id=instance_id, vm=vm, node_name=node_name,
-                hypervisor=self._hypervisor(node_name), backend=mirroring,
+                hypervisor=self.hypervisors.get(node_name), backend=mirroring,
             )
             self.instances.append(instance)
             boots.append(self.cloud.process(
@@ -147,7 +144,7 @@ class BlobCRDeployment(Deployment):
 
     def _boot_instance(self, instance: DeployedInstance, processes_per_instance: int) -> Generator:
         mirroring: MirroringModule = instance.backend
-        hypervisor = self._hypervisor(instance.node_name)
+        hypervisor = self.hypervisors.get(instance.node_name)
         yield from hypervisor.boot(
             instance.vm, mirroring,
             image_reader=self._image_reader(instance.instance_id, mirroring),
@@ -194,7 +191,7 @@ class BlobCRDeployment(Deployment):
         )
         instance.backend = mirroring
         instance.node_name = target_node
-        hypervisor = self._hypervisor(target_node)
+        hypervisor = self.hypervisors.get(target_node)
         yield from hypervisor.boot(
             instance.vm, mirroring,
             image_reader=self._image_reader(instance.instance_id, mirroring),

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.cluster.cloud import Cloud
-from repro.cluster.hypervisor import Hypervisor
+from repro.cluster.hypervisor import Hypervisor, HypervisorCache
 from repro.guest.filesystem import GuestFileSystem
 from repro.guest.vm import VMInstance
 from repro.util.bytesource import ByteSource
@@ -109,13 +109,28 @@ class Deployment(abc.ABC):
         self.cloud = cloud
         self.instances: List[DeployedInstance] = []
         self.checkpoints: List[GlobalCheckpoint] = []
+        #: per-node hypervisors, shared by every phase of the strategy
+        self.hypervisors = HypervisorCache(cloud)
         self._checkpoint_index = 0
 
     # -- to be provided by each strategy ------------------------------------------------------
 
-    @abc.abstractmethod
     def deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
-        """Simulation process: deploy ``count`` instances from the base image."""
+        """Simulation process: deploy ``count`` instances from the base image.
+
+        Validates the count once for every strategy -- eagerly, before any
+        base-image bootstrap side effects -- then delegates to the
+        strategy's :meth:`_deploy`.
+        """
+        if count <= 0:
+            raise ValueError(
+                f"cannot deploy {count} instances: the instance count must be positive"
+            )
+        return self._deploy(count, processes_per_instance)
+
+    @abc.abstractmethod
+    def _deploy(self, count: int, processes_per_instance: int = 1) -> Generator:
+        """Simulation process: the strategy-specific multi-deployment."""
 
     @abc.abstractmethod
     def checkpoint_instance(self, instance: DeployedInstance, tag: str = "") -> Generator:
@@ -202,7 +217,10 @@ class Deployment(abc.ABC):
         the quantity reported by Figure 3.
         """
         if not checkpoint.records:
-            raise RestartError("cannot restart from an empty checkpoint")
+            raise ValueError(
+                f"cannot restart from checkpoint {checkpoint.index}: it records no "
+                "instance snapshots (was it taken before any instance was deployed?)"
+            )
         self.kill_all()
         mapping = target_nodes or self.restart_targets()
         started = self.cloud.now

@@ -6,13 +6,13 @@ historical ``run_figN`` entry point as a thin sequential wrapper over the
 same cells.  Importing this package populates the runner registry in
 canonical order (fig2 ... table1); the benchmarks under ``benchmarks/`` and
 the CLI (``python -m repro``) consume the resulting
-:class:`~repro.experiments.harness.ExperimentResult` rows.
+:class:`~repro.scenarios.results.ExperimentResult` rows.
 """
 
-from repro.experiments.harness import (
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import (
     APPROACHES,
     CM1_APPROACHES,
-    ExperimentResult,
     ScenarioOutcome,
     run_synthetic_cell,
     run_synthetic_scenario,

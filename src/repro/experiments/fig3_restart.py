@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.harness import (
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import (
     APPROACHES,
     BENCH_SCALE_POINTS,
     PAPER_BUFFER_SIZES,
     PAPER_SCALE_POINTS,
-    ExperimentResult,
     format_mb,
     run_synthetic_cell,
 )

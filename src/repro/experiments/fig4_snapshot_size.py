@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.harness import (
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import (
     APPROACHES,
     PAPER_BUFFER_SIZES,
-    ExperimentResult,
     format_mb,
     run_synthetic_cell,
 )

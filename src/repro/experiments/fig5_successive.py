@@ -19,11 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.harness import (
-    APPROACHES,
-    ExperimentResult,
-    run_synthetic_cell,
-)
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import APPROACHES, run_synthetic_cell
 from repro.runner.cells import Cell, CellResult, run_cells_inline
 from repro.scenarios.engine import register_scenario
 from repro.scenarios.spec import Axis, ScenarioSpec

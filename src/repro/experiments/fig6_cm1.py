@@ -16,12 +16,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.cm1 import CM1Application, CM1Config
-from repro.experiments.harness import (
-    CM1_APPROACHES,
-    ExperimentResult,
-    make_deployment,
-    split_approach,
-)
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import CM1_APPROACHES, make_deployment, split_approach
 from repro.runner.cells import Cell, run_cells_inline
 from repro.scenarios.engine import register_scenario
 from repro.scenarios.spec import Axis, ScenarioSpec, approach_matrix

@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cloud import Cloud
 from repro.core.repository import CheckpointRepository
-from repro.experiments.harness import ExperimentResult
+from repro.scenarios.results import ExperimentResult
 from repro.runner.cells import Cell, CellResult, run_cells_inline
 from repro.scenarios.engine import register_scenario
 from repro.scenarios.spec import Axis, ScenarioSpec

@@ -1,11 +1,15 @@
-"""Shared plumbing of the experiment harness (compatibility shim).
+"""Deprecated shim over the scenario layer.
 
-The implementation moved into the scenario layer: result rows live in
-:mod:`repro.scenarios.results` and the synthetic workload plans in
-:mod:`repro.scenarios.workloads`.  This module re-exports both so the
-historical ``repro.experiments.harness`` import path keeps working for
-tests, benchmarks and downstream users.
+The implementation moved into the scenario layer in PR 3: result rows live
+in :mod:`repro.scenarios.results` and the synthetic workload plans in
+:mod:`repro.scenarios.workloads`.  This module now only re-exports both for
+downstream users of the historical ``repro.experiments.harness`` path --
+importing it emits a :class:`DeprecationWarning`, and no in-tree module
+imports it anymore.  It will be removed once the deprecation has shipped in
+a release.
 """
+
+import warnings
 
 from repro.scenarios.results import ExperimentResult, merge_approach_cells
 from repro.scenarios.workloads import (
@@ -20,6 +24,13 @@ from repro.scenarios.workloads import (
     run_synthetic_cell,
     run_synthetic_scenario,
     split_approach,
+)
+
+warnings.warn(
+    "repro.experiments.harness is deprecated: import result rows from "
+    "repro.scenarios.results and workload plans from repro.scenarios.workloads",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -32,7 +32,8 @@ from repro.experiments.fig6_cm1 import (
     PAPER_CM1_PROCESSES,
     run_cm1_cell,
 )
-from repro.experiments.harness import CM1_APPROACHES, ExperimentResult
+from repro.scenarios.results import ExperimentResult
+from repro.scenarios.workloads import CM1_APPROACHES
 from repro.runner.cells import Cell, CellResult, run_cells_inline
 from repro.scenarios.engine import register_scenario
 from repro.scenarios.spec import Axis, ScenarioSpec

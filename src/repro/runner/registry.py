@@ -3,7 +3,7 @@
 Each figure/table module registers itself as an :class:`ExperimentSpec` at
 import time: how to enumerate its independent cells for a given
 :class:`RunConfig`, and how to merge executed cell results back into the
-canonical :class:`~repro.experiments.harness.ExperimentResult` rows.  The
+canonical :class:`~repro.scenarios.results.ExperimentResult` rows.  The
 registry preserves registration order, which is the canonical experiment
 order of the CLI (fig2 ... table1).
 """
@@ -16,8 +16,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.experiments.harness import ExperimentResult
     from repro.runner.cells import Cell, CellResult
+    from repro.scenarios.results import ExperimentResult
     from repro.util.config import ClusterSpec
 
 

@@ -19,9 +19,9 @@ a recorded run is reproducible from its artifact alone.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.util.config import ClusterSpec
+from repro.util.config import GRAPHENE, ClusterSpec
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +67,47 @@ def split_overrides(
                 f"(known: {', '.join(scenario_names) or 'none'})"
             )
     return cluster, scenario
+
+
+def resolve_cluster_spec(
+    raw: Sequence[str],
+    known: Sequence[str],
+    selected: Sequence[str],
+    base_spec: Optional[ClusterSpec] = None,
+    seed: Optional[int] = None,
+) -> Optional[ClusterSpec]:
+    """Validate overrides for one run and fold the cluster-level ones.
+
+    The single configuration pipeline shared by the CLI and the
+    :class:`repro.api.session.Session` facade (which is what keeps their
+    rows byte-identical): every override is validated against ``known``
+    scenario names, scenario overrides addressed to experiments outside
+    ``selected`` are rejected (they would be silently inert), and the
+    ``cluster.*`` overrides plus ``seed`` are folded onto ``base_spec``
+    (default: the GRAPHENE calibration).  Returns the run's cluster-spec
+    override -- ``None`` when nothing needs overriding, preserving each
+    experiment's default behaviour.
+    """
+    cluster_overrides, scenario_overrides = split_overrides(raw, known)
+    misdirected = sorted(
+        {
+            item.split(".", 1)[0]
+            for item in scenario_overrides
+            if item.split(".", 1)[0] not in selected
+        }
+    )
+    if misdirected:
+        raise ConfigurationError(
+            "override(s) target experiment(s) not selected for this run: "
+            + ", ".join(misdirected)
+        )
+    spec = base_spec
+    if cluster_overrides or seed is not None:
+        base = base_spec or GRAPHENE
+        if seed is not None:
+            base = base.scaled(seed=seed)
+        spec = apply_cluster_overrides(base, cluster_overrides)
+    return spec
 
 
 def coerce_token(kind: type, token: str, context: str) -> Any:

@@ -25,9 +25,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.apps.synthetic import SyntheticBenchmark
-from repro.baselines import Qcow2DiskDeployment, Qcow2FullDeployment
 from repro.cluster.cloud import Cloud
-from repro.core import BlobCRDeployment
+from repro.core.backends import create_backend, get_backend
 from repro.core.strategy import Deployment
 
 from repro.util.config import GRAPHENE, ClusterSpec
@@ -71,25 +70,39 @@ class ScenarioOutcome:
 
 
 def split_approach(approach: str) -> tuple[str, str]:
-    """Split an approach label into (storage backend, checkpoint level)."""
+    """Split an approach label into (storage backend, checkpoint level).
+
+    Any registered deployment backend is addressable as ``<backend>-app`` or
+    ``<backend>-blcr`` (stage-1 dump by the application or by BLCR);
+    ``qcow2-full`` is its own full-VM level.  Unknown backends are rejected
+    with the registry's list of available names.
+    """
     if approach == "qcow2-full":
         return "qcow2-full", "full"
-    backend, level = approach.rsplit("-", 1)
-    if backend not in ("BlobCR", "qcow2-disk") or level not in ("app", "blcr"):
-        raise ConfigurationError(f"unknown approach {approach!r}")
+    backend, sep, level = approach.rpartition("-")
+    # qcow2-full captures RAM in the snapshot itself; a staged (app/blcr)
+    # dump on top of it is a meaningless combination, not a sweep point.
+    if not sep or level not in ("app", "blcr") or backend.lower() == "qcow2-full":
+        raise ConfigurationError(
+            f"unknown approach {approach!r}: expected '<backend>-app', "
+            "'<backend>-blcr' or 'qcow2-full'"
+        )
+    get_backend(backend)  # raises with the available names on unknown backends
     return backend, level
 
 
 def make_deployment(approach: str, spec: Optional[ClusterSpec] = None) -> Deployment:
-    """Create a fresh cloud + deployment strategy for one approach."""
+    """Create a fresh cloud + deployment strategy for one approach.
+
+    The storage half of the approach label doubles as the backend name, so
+    the strategy is resolved through the deployment-backend registry -- new
+    backends become addressable here (and hence in every scenario) just by
+    registering themselves.
+    """
     spec = spec or GRAPHENE
     cloud = Cloud(spec)
     backend, _level = split_approach(approach)
-    if backend == "BlobCR":
-        return BlobCRDeployment(cloud)
-    if backend == "qcow2-disk":
-        return Qcow2DiskDeployment(cloud)
-    return Qcow2FullDeployment(cloud)
+    return create_backend(backend, cloud)
 
 
 def run_synthetic_scenario(

@@ -1,0 +1,297 @@
+"""Tests for the public ``repro.api`` facade and the backend registry."""
+
+import importlib
+import json
+import sys
+
+import pytest
+
+from repro.api import (
+    CheckpointResult,
+    DeployResult,
+    RestartResult,
+    Session,
+    backend_names,
+    create_backend,
+    get_backend,
+    register_backend,
+)
+from repro.baselines import Qcow2DiskDeployment, Qcow2FullDeployment
+from repro.cli import main
+from repro.cluster import Cloud
+from repro.core import BlobCRDeployment
+from repro.core.backends import _BACKENDS, BackendCapabilities
+from repro.util.config import GRAPHENE
+from repro.util.errors import ConfigurationError
+
+SMALL = GRAPHENE.scaled(compute_nodes=6, service_nodes=3)
+
+BUILTIN_BACKENDS = ["blobcr", "qcow2-disk", "qcow2-full"]
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == BUILTIN_BACKENDS
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_backend("BlobCR").factory is BlobCRDeployment
+
+    def test_create_returns_the_strategy_classes(self):
+        assert isinstance(create_backend("blobcr", Cloud(SMALL)), BlobCRDeployment)
+        assert isinstance(create_backend("qcow2-disk", Cloud(SMALL)), Qcow2DiskDeployment)
+        assert isinstance(create_backend("qcow2-full", Cloud(SMALL)), Qcow2FullDeployment)
+
+    def test_unknown_backend_error_lists_available_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_backend("zfs")
+        message = str(excinfo.value)
+        for name in BUILTIN_BACKENDS:
+            assert name in message
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("blobcr")(BlobCRDeployment)
+
+    def test_third_party_backend_registers_and_unregisters(self):
+        @register_backend(
+            "null-backend",
+            capabilities=BackendCapabilities(incremental=True),
+            description="a backend that deploys nothing",
+        )
+        def factory(cloud, knob: int = 1):
+            raise NotImplementedError
+
+        try:
+            info = get_backend("null-backend")
+            assert info.capabilities.incremental
+            assert list(info.options) == ["knob"]
+            assert "null-backend" in backend_names()
+        finally:
+            _BACKENDS.pop("null-backend", None)
+
+    def test_option_schema_from_signature(self):
+        info = get_backend("blobcr")
+        assert "adaptive_prefetch" in info.options
+        assert info.options["adaptive_prefetch"].default is True
+
+    def test_unknown_option_rejected_listing_schema(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_backend("blobcr", Cloud(SMALL), compression="lz4")
+        message = str(excinfo.value)
+        assert "compression" in message
+        assert "adaptive_prefetch" in message
+
+    def test_registered_backend_addressable_as_approach(self):
+        from repro.scenarios.workloads import make_deployment, split_approach
+
+        @register_backend("toy", description="qcow2-disk under another name")
+        def factory(cloud):
+            return Qcow2DiskDeployment(cloud)
+
+        try:
+            assert split_approach("toy-app") == ("toy", "app")
+            assert isinstance(make_deployment("toy-blcr", SMALL), Qcow2DiskDeployment)
+        finally:
+            _BACKENDS.pop("toy", None)
+
+    def test_dashless_approach_rejected(self):
+        from repro.scenarios.workloads import split_approach
+
+        with pytest.raises(ConfigurationError, match="expected"):
+            split_approach("zfs")
+
+    def test_staged_dump_on_full_snapshots_rejected(self):
+        from repro.scenarios.workloads import split_approach
+
+        for label in ("qcow2-full-app", "qcow2-full-blcr"):
+            with pytest.raises(ConfigurationError, match="expected"):
+                split_approach(label)
+
+    def test_capability_summaries(self):
+        assert get_backend("blobcr").capabilities.summary() == "incremental,dedup-capable"
+        assert get_backend("qcow2-disk").capabilities.summary() == "-"
+        assert get_backend("qcow2-full").capabilities.summary() == "live-migration"
+
+
+class TestSessionLifecycle:
+    @pytest.mark.parametrize("backend", BUILTIN_BACKENDS)
+    def test_checkpoint_kill_restart_per_backend(self, backend):
+        session = Session.from_spec(SMALL)
+        deployed = session.deploy(backend, n=2)
+        assert isinstance(deployed, DeployResult)
+        assert deployed.instances == 2
+        assert deployed.duration_s > 0
+        assert session.backend == backend
+
+        payload = b"state " * 50_000
+        session.guest_write("vm-000", "/ckpt/state.dat", payload)
+        checkpoint = session.checkpoint(tag="api-e2e")
+        assert isinstance(checkpoint, CheckpointResult)
+        assert checkpoint.duration_s > 0
+        assert checkpoint.max_snapshot_bytes > 0
+        assert set(checkpoint.instance_ids) == set(deployed.instance_ids)
+
+        session.kill()
+        restart = session.restart(checkpoint)
+        assert isinstance(restart, RestartResult)
+        assert restart.duration_s > 0
+        assert set(restart.instance_ids) == set(deployed.instance_ids)
+        if backend != "qcow2-full":  # full snapshots resume from RAM instead
+            assert session.guest_read("vm-000", "/ckpt/state.dat") == payload
+
+    def test_restart_defaults_to_latest_checkpoint(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        session.guest_write("vm-000", "/ckpt/a.dat", b"a" * 10_000)
+        session.checkpoint()
+        session.guest_write("vm-000", "/ckpt/b.dat", b"b" * 10_000)
+        latest = session.checkpoint()
+        restart = session.restart()
+        assert restart.bytes_restored > 0
+        assert session.checkpoints[-1] is latest
+
+    def test_deploy_options_forwarded(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1, adaptive_prefetch=False)
+        assert session.deployment.adaptive_prefetch is False
+
+    def test_advance_moves_the_clock(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        before = session.now
+        assert session.advance(12.5) == pytest.approx(before + 12.5)
+
+
+class TestSessionValidation:
+    @pytest.mark.parametrize("count", [0, -3])
+    def test_deploy_rejects_non_positive_counts(self, count):
+        session = Session.from_spec(SMALL)
+        with pytest.raises(ValueError, match="must be positive"):
+            session.deploy("blobcr", n=count)
+
+    @pytest.mark.parametrize("cls", [BlobCRDeployment, Qcow2DiskDeployment])
+    def test_raw_deployment_rejects_non_positive_counts(self, cls):
+        cloud = Cloud(SMALL)
+        deployment = cls(cloud)
+        with pytest.raises(ValueError, match="must be positive"):
+            cloud.run(cloud.process(deployment.deploy(0)))
+
+    def test_restart_from_empty_checkpoint_rejected(self):
+        from repro.core.strategy import GlobalCheckpoint
+
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        empty = GlobalCheckpoint(index=1, started_at=0.0, finished_at=0.0)
+        deployment = session.deployment
+        with pytest.raises(ValueError, match="records no"):
+            session.drive(deployment.restart_all(empty))
+
+    def test_restart_without_checkpoint_rejected(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        with pytest.raises(ValueError, match="no checkpoint"):
+            session.restart()
+
+    def test_second_deploy_rejected(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        with pytest.raises(ConfigurationError, match="already runs"):
+            session.deploy("qcow2-disk", n=1)
+
+    def test_accessors_before_deploy_rejected(self):
+        session = Session.from_spec(SMALL)
+        with pytest.raises(ConfigurationError, match="call deploy"):
+            _ = session.deployment
+        with pytest.raises(ConfigurationError, match="call deploy"):
+            session.checkpoint()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            Session().run_scenario("fig99")
+
+    def test_misdirected_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="not selected"):
+            Session().run_scenario("fig2", overrides={"ft.mtbf": 300})
+
+    def test_foreign_cell_selector_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside scenario"):
+            Session().run_scenario("fig2", cells=["fig4:BlobCR-app:50MB"])
+
+
+class TestScenarioParity:
+    CELL = "fig2:BlobCR-app:4:50MB"
+
+    def _cli_rows(self, capsys, extra=()):
+        argv = ["--cells", self.CELL, "--json", "-", "--no-progress", *extra]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        return json.loads(out[out.index("{") :])["fig2"]["rows"]
+
+    def test_fig2_rows_byte_identical_api_vs_cli(self, capsys):
+        cli_rows = self._cli_rows(capsys)
+        report = Session().run_scenario("fig2", cells=[self.CELL])
+        assert json.dumps(report.rows, sort_keys=True) == json.dumps(cli_rows, sort_keys=True)
+        assert report.cell_keys == (self.CELL,)
+        assert report.experiment == "fig2"
+        assert "fig2" in report.to_table()
+
+    def test_fig2_rows_byte_identical_with_seed_and_workers(self, capsys):
+        cli_rows = self._cli_rows(capsys, extra=["--seed", "7"])
+        report = Session().run_scenario("fig2", cells=[self.CELL], seed=7, workers=2)
+        assert json.dumps(report.rows, sort_keys=True) == json.dumps(
+            cli_rows, sort_keys=True
+        )
+
+    def test_axis_override_matches_cli_semantics(self):
+        report = Session().run_scenario(
+            "ft",
+            overrides={"ft.mtbf": 150, "ft.approach": "qcow2-full"},
+        )
+        assert report.cell_keys == ("ft:qcow2-full:150",)
+
+    def test_session_spec_flows_into_scenarios(self):
+        default = Session().run_scenario("fig2", cells=[self.CELL])
+        scaled = Session.from_spec(GRAPHENE.scaled(seed=99)).run_scenario(
+            "fig2", cells=[self.CELL]
+        )
+        # A different base seed (different jitter draws) must reach the cells.
+        assert default.rows != scaled.rows
+
+
+class TestHarnessDeprecation:
+    def test_harness_import_warns(self):
+        sys.modules.pop("repro.experiments.harness", None)
+        with pytest.warns(DeprecationWarning, match="repro.experiments.harness"):
+            importlib.import_module("repro.experiments.harness")
+
+    def test_shim_still_reexports(self):
+        with pytest.warns(DeprecationWarning):
+            sys.modules.pop("repro.experiments.harness", None)
+            harness = importlib.import_module("repro.experiments.harness")
+        from repro.scenarios.workloads import make_deployment
+
+        assert harness.make_deployment is make_deployment
+
+
+class TestSharedHypervisorCache:
+    def test_one_hypervisor_per_node_across_phases(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=2)
+        deployment = session.deployment
+        cache = deployment.hypervisors
+        first = cache.get("node-000")
+        assert cache.get("node-000") is first
+        session.guest_write("vm-000", "/ckpt/s.dat", b"s" * 10_000)
+        session.checkpoint()
+        session.restart()
+        # restart re-deploys on different nodes through the same cache
+        assert len(cache) >= 2
+        for instance in deployment.instances:
+            assert instance.node_name in cache
+
+    def test_baselines_share_the_same_helper(self):
+        from repro.cluster.hypervisor import HypervisorCache
+
+        for backend in BUILTIN_BACKENDS:
+            deployment = create_backend(backend, Cloud(SMALL))
+            assert isinstance(deployment.hypervisors, HypervisorCache)

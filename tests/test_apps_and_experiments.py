@@ -9,7 +9,7 @@ from repro.baselines import Qcow2DiskDeployment, Qcow2FullDeployment
 from repro.cluster import Cloud
 from repro.core import BlobCRDeployment
 from repro.experiments import run_fig4, run_table1
-from repro.experiments.harness import (
+from repro.scenarios.workloads import (
     APPROACHES,
     make_deployment,
     run_synthetic_scenario,

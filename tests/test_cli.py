@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.experiments.harness import ExperimentResult
+from repro.scenarios.results import ExperimentResult
 from repro.runner import load_artifact
 from repro.runner.registry import _REGISTRY, ExperimentSpec, register
 

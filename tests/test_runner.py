@@ -5,7 +5,7 @@ import copy
 import pytest
 
 from repro.experiments.fig2_checkpoint import fig2_cells
-from repro.experiments.harness import run_synthetic_scenario
+from repro.scenarios.workloads import run_synthetic_scenario
 from repro.runner import (
     ArtifactError,
     ParallelRunner,
