@@ -21,14 +21,18 @@ from repro.scenarios.results import ExperimentResult
 class DeployResult:
     """Outcome of ``session.deploy(backend, n=...)``."""
 
+    #: canonical (lowercase) name of the backend that was deployed
     backend: str
+    #: ids of the deployed instances, in deployment order
     instance_ids: Tuple[str, ...]
+    #: simulated seconds from request to every instance booted
     duration_s: float
     #: persistent storage consumed after deployment (base image)
     storage_used_bytes: int
 
     @property
     def instances(self) -> int:
+        """Number of deployed instances."""
         return len(self.instance_ids)
 
 
@@ -38,8 +42,11 @@ class CheckpointResult:
 
     #: 1-based index of the global checkpoint within its deployment
     index: int
+    #: simulated seconds the globally consistent snapshot took
     duration_s: float
+    #: incremental snapshot bytes persisted, summed over all instances
     total_snapshot_bytes: int
+    #: largest per-instance snapshot (the paper's headline size metric)
     max_snapshot_bytes: int
     instance_ids: Tuple[str, ...]
     #: the engine-level checkpoint object (restart target)
@@ -50,8 +57,11 @@ class CheckpointResult:
 class RestartResult:
     """Outcome of ``session.restart(...)``: every instance back up."""
 
+    #: simulated seconds from kill to every instance serving again
     duration_s: float
+    #: bytes actually faulted in during the (lazy) restore
     bytes_restored: int
+    #: ids of the restarted instances
     instance_ids: Tuple[str, ...]
 
 

@@ -18,6 +18,10 @@ clock internally, and returns typed results instead of raw generators.
 ``run_scenario`` composes the exact same object graph the CLI builds for
 the same scenario and configuration, so its rows are byte-identical to
 ``blobcr-repro <scenario> --json -`` at any worker count.
+
+``docs/api.md`` is the rendered reference for this module (every public
+method, the typed results, and the backend-registry contract with a worked
+third-party example); this docstring and that page are kept in lockstep.
 """
 
 from __future__ import annotations
@@ -112,7 +116,12 @@ class Session:
 
     @staticmethod
     def backends() -> List[BackendInfo]:
-        """The registered deployment backends (capabilities + option schema)."""
+        """The registered deployment backends (capabilities + option schema).
+
+        Sorted by name; includes any third-party backend registered with
+        :func:`repro.core.backends.register_backend` before the call (see
+        the worked example in ``docs/api.md``).
+        """
         return [get_backend(name) for name in backend_names()]
 
     # -- simulation driving ------------------------------------------------------------
@@ -148,9 +157,15 @@ class Session:
     ) -> DeployResult:
         """Deploy ``n`` instances from the base image using the named backend.
 
-        ``options`` are validated against the backend's registered option
-        schema (e.g. ``adaptive_prefetch=False`` for ``blobcr``); ``n`` is
-        validated by the strategy base class (``n <= 0`` raises ValueError).
+        ``backend`` is resolved case-insensitively through the registry
+        (:func:`repro.core.backends.get_backend`), so any registered
+        third-party backend works here too.  ``options`` are validated
+        against the backend's registered option schema (e.g.
+        ``adaptive_prefetch=False`` for ``blobcr``); unknown options raise
+        :class:`~repro.util.errors.ConfigurationError` listing the accepted
+        names.  ``n`` is validated by the strategy base class (``n <= 0``
+        raises ValueError).  One deployment per session: a second call
+        raises -- build a fresh :class:`Session` instead.
         """
         if self._deployment is not None:
             raise ConfigurationError(
@@ -174,7 +189,14 @@ class Session:
         )
 
     def checkpoint(self, tag: str = "") -> CheckpointResult:
-        """Take a global (disk-snapshot) checkpoint of every instance."""
+        """Take a global (disk-snapshot) checkpoint of every instance.
+
+        Returns a :class:`~repro.api.results.CheckpointResult` carrying the
+        measured duration and per-instance snapshot sizes; the result is
+        also appended to :attr:`checkpoints`, and :meth:`restart` defaults
+        to the most recent one.  ``tag`` labels the checkpoint in the
+        repository (useful when inspecting the engine through ``handle``).
+        """
         deployment = self.deployment
         started = self.now
         checkpoint = self.drive(deployment.checkpoint_all(tag=tag), name="api-checkpoint")
@@ -196,7 +218,11 @@ class Session:
     def restart(self, checkpoint: Optional[CheckpointResult] = None) -> RestartResult:
         """Kill everything and restart from ``checkpoint`` on different nodes.
 
-        Defaults to the most recent checkpoint taken through this session.
+        Defaults to the most recent checkpoint taken through this session
+        (``ValueError`` if none was taken).  The restarted instances fault
+        their disk state in on demand (lazy restore); the returned
+        :class:`~repro.api.results.RestartResult` reports the wall-clock
+        duration on the simulated clock and the bytes actually restored.
         """
         deployment = self.deployment
         if checkpoint is None:
@@ -258,6 +284,14 @@ class Session:
         validation, same cluster-spec folding, same cell enumeration and
         merge), so the rows are byte-identical to ``blobcr-repro <name>``
         with the equivalent flags.
+
+        ``overrides`` accepts either raw ``"key=value"`` strings (the CLI
+        form, ``|`` separating sweep points) or a mapping; ``cells``
+        restricts the run to matching selector prefixes; ``workers > 1``
+        fans cells over a process pool without changing any row;
+        ``progress`` receives ``(done, total, CellResult)`` per finished
+        cell.  Raises :class:`~repro.util.errors.ConfigurationError` for
+        unknown scenarios, misdirected overrides or foreign selectors.
         """
         names = load_all()
         if name not in names:

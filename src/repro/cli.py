@@ -19,6 +19,14 @@ registry-driven parallel runner and prints the resulting tables.
   simulated times, environment, calibration) the CI benchmark gate consumes.
 * ``--list-backends`` shows the deployment-backend registry (capabilities and
   option schemas); programmatic use goes through :mod:`repro.api`.
+
+``blobcr-repro profile [experiments...]`` is the profiling harness: it runs
+the selected cells in-process under cProfile while collecting the
+deterministic simulator work counters (events popped, bandwidth
+recomputations, flows settled, component sizes -- see
+:mod:`repro.sim.instrumentation`), prints both, and with
+``--profile-artifact`` writes the schema-versioned profile artifact next to
+the bench artifact.  ``docs/performance.md`` explains how to read it.
 """
 
 from __future__ import annotations
@@ -26,32 +34,38 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.backends import backend_names, get_backend
 from repro.runner import (
     ParallelRunner,
     RunConfig,
     build_artifact,
+    build_profile_artifact,
     load_all,
     parse_selectors,
     write_artifact,
+    write_profile_artifact,
 )
 from repro.runner.cells import CellResult
+from repro.runner.select import CellSelector
 from repro.scenarios.overrides import resolve_cluster_spec
 from repro.util.errors import ConfigurationError
 
 
-def _build_parser(names: List[str]) -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="blobcr-repro",
-        description="Reproduce the evaluation of BlobCR (SC'11).",
-    )
+def _add_selection_arguments(parser: argparse.ArgumentParser, names: List[str], verb: str) -> None:
+    """The experiment/cell/override selection surface shared by run and profile.
+
+    One definition keeps the two namespaces structurally identical, which
+    ``_resolve_run_inputs`` relies on (both entry points must validate and
+    fold configuration the same way, with the same flags and defaults).
+    """
     parser.add_argument(
         "experiments",
         nargs="*",
         default=[],
-        help=f"which experiments to run (default: all of {', '.join(names)})",
+        help=f"which experiments to {verb} (default: all of {', '.join(names)})",
     )
     parser.add_argument(
         "--paper-scale",
@@ -59,30 +73,12 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
         help="use the paper's full scale (slower)",
     )
     parser.add_argument(
-        "--workers",
-        "-j",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run experiment cells over N worker processes (default: 1)",
-    )
-    parser.add_argument(
         "--cells",
         action="append",
         default=[],
         metavar="SELECTOR",
-        help="run only cells matching the selector prefix, e.g. "
+        help=f"{verb} only cells matching the selector prefix, e.g. "
         "fig2:BlobCR-app:24 (repeatable, comma-separated)",
-    )
-    parser.add_argument(
-        "--list-cells",
-        action="store_true",
-        help="list the addressable cell keys of the selected experiments and exit",
-    )
-    parser.add_argument(
-        "--list-backends",
-        action="store_true",
-        help="list the registered deployment backends (capabilities, options) and exit",
     )
     parser.add_argument(
         "--override",
@@ -101,6 +97,41 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
         "--override cluster.seed=N)",
     )
     parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-cell progress lines on stderr",
+    )
+
+
+def _build_parser(names: List[str]) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blobcr-repro",
+        description="Reproduce the evaluation of BlobCR (SC'11).",
+        epilog="subcommand: `blobcr-repro profile [experiments...]` (must be "
+        "the first argument) runs cells under cProfile with deterministic "
+        "simulator work counters; see `blobcr-repro profile --help` and "
+        "docs/performance.md.",
+    )
+    _add_selection_arguments(parser, names, verb="run")
+    parser.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiment cells over N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--list-cells",
+        action="store_true",
+        help="list the addressable cell keys of the selected experiments and exit",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered deployment backends (capabilities, options) and exit",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -111,11 +142,6 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the structured perf artifact (JSON) to PATH ('-' for stdout)",
-    )
-    parser.add_argument(
-        "--no-progress",
-        action="store_true",
-        help="suppress the per-cell progress lines on stderr",
     )
     return parser
 
@@ -129,25 +155,17 @@ def _progress(done: int, total: int, result: CellResult) -> None:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    names = load_all()
-    parser = _build_parser(names)
-    args = parser.parse_args(argv)
+def _resolve_run_inputs(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, names: List[str]
+) -> Tuple[List[str], List[CellSelector], RunConfig]:
+    """Validate experiments/selectors/overrides and fold them into a RunConfig.
 
-    if args.list_backends:
-        for name in backend_names():
-            info = get_backend(name)
-            options = ", ".join(info.options) or "-"
-            print(f"{info.name}: {info.description}")
-            print(f"    capabilities: {info.capabilities.summary()}")
-            print(f"    options: {options}")
-        return 0
-
+    Shared between the run and profile entry points so ``profile`` accepts
+    exactly the selection surface of a normal run (and errors identically).
+    """
     unknown = [e for e in args.experiments if e not in names]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-    if args.workers < 1:
-        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     try:
         selectors = parse_selectors(args.cells)
@@ -187,6 +205,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides=tuple(args.override),
         seed=args.seed,
     )
+    return experiments, selectors, config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw_argv and raw_argv[0] == "profile":
+        return profile_main(raw_argv[1:], raw_argv)
+    names = load_all()
+    parser = _build_parser(names)
+    args = parser.parse_args(raw_argv)
+
+    if args.list_backends:
+        for name in backend_names():
+            info = get_backend(name)
+            options = ", ".join(info.options) or "-"
+            print(f"{info.name}: {info.description}")
+            print(f"    capabilities: {info.capabilities.summary()}")
+            print(f"    options: {options}")
+        return 0
+
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    experiments, selectors, config = _resolve_run_inputs(parser, args, names)
     runner = ParallelRunner(
         workers=args.workers,
         progress=None if args.no_progress else _progress,
@@ -228,14 +269,145 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parser.error(f"cannot write JSON output to {args.json}: {exc}")
 
     if args.artifact is not None:
-        document = build_artifact(
-            report,
-            argv=list(argv) if argv is not None else sys.argv[1:],
-        )
+        document = build_artifact(report, argv=raw_argv)
         try:
             write_artifact(args.artifact, document)
         except OSError as exc:
             parser.error(f"cannot write artifact to {args.artifact}: {exc}")
+    return 0
+
+
+# -- the profiling harness (`blobcr-repro profile`) ---------------------------------
+
+
+def _build_profile_parser(names: List[str]) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blobcr-repro profile",
+        description="Profile experiment cells: cProfile hotspots plus the "
+        "deterministic simulator work counters.",
+    )
+    _add_selection_arguments(parser, names, verb="profile")
+    parser.add_argument(
+        "--profile-artifact",
+        metavar="PATH",
+        default=None,
+        help="write the schema-versioned profile artifact (JSON) to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of cProfile hotspots to report (default: %(default)s)",
+    )
+    return parser
+
+
+def _shorten_path(filename: str) -> str:
+    """Make profiler paths readable: anchor at the package root if possible."""
+    marker = filename.rfind("/repro/")
+    if marker != -1:
+        return "repro/" + filename[marker + len("/repro/") :]
+    return filename
+
+
+def _top_hotspots(profiler: Any, top: int) -> List[Dict[str, Any]]:
+    """The ``top`` most expensive functions by self time, as JSON rows."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    entries: List[Dict[str, Any]] = []
+    for (filename, lineno, funcname), row in stats.stats.items():  # type: ignore[attr-defined]
+        _cc, ncalls, tottime, cumtime = row[0], row[1], row[2], row[3]
+        entries.append(
+            {
+                "function": f"{_shorten_path(filename)}:{lineno}({funcname})",
+                "ncalls": ncalls,
+                "tottime_s": tottime,
+                "cumtime_s": cumtime,
+            }
+        )
+    entries.sort(key=lambda e: (-e["tottime_s"], e["function"]))
+    return entries[: max(top, 0)]
+
+
+def profile_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``blobcr-repro profile``.
+
+    Cells always run in-process (the counters are process-global and
+    cProfile cannot look into worker processes), sequentially and in
+    canonical order; the counter block is reset around every cell so the
+    artifact carries exact per-cell work counts.
+    """
+    import cProfile
+
+    from repro.runner.cells import execute_cell
+    from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+    names = load_all()
+    parser = _build_profile_parser(names)
+    args = parser.parse_args(argv)
+    experiments, selectors, config = _resolve_run_inputs(parser, args, names)
+    runner = ParallelRunner(workers=1)
+    try:
+        cells = runner.enumerate(experiments, config, selectors)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    profiler = cProfile.Profile()
+    cell_records: List[Dict[str, Any]] = []
+    t0 = time.perf_counter()
+    for index, cell in enumerate(cells):
+        counters_reset()
+        profiler.enable()
+        result = execute_cell(cell)
+        profiler.disable()
+        cell_records.append(
+            {
+                "key": result.key,
+                "experiment": result.experiment,
+                "wall_time_s": result.wall_time_s,
+                "sim_time_s": result.sim_time_s,
+                "counters": counters_snapshot().as_dict(),
+            }
+        )
+        if not args.no_progress:
+            _progress(index + 1, len(cells), result)
+    wall = time.perf_counter() - t0
+
+    hotspots = _top_hotspots(profiler, args.top)
+    document = build_profile_artifact(
+        experiments=experiments,
+        cells=cell_records,
+        hotspots=hotspots,
+        wall_time_s=wall,
+        paper_scale=args.paper_scale,
+        overrides=list(args.override),
+        seed=args.seed,
+        argv=raw_argv if raw_argv is not None else ["profile"] + list(argv),
+    )
+
+    # Write the artifact before printing: a truncated stdout (head, a full
+    # disk behind a redirect) must not cost CI the recorded document.
+    if args.profile_artifact is not None:
+        try:
+            write_profile_artifact(args.profile_artifact, document)
+        except OSError as exc:
+            parser.error(f"cannot write profile artifact to {args.profile_artifact}: {exc}")
+
+    aggregate = document["counters"]["aggregate"]
+    print(f"profiled {len(cell_records)} cell(s) in {wall:.2f}s (wall)")
+    print()
+    print("simulator work counters (deterministic):")
+    for name, value in aggregate.items():
+        print(f"  {name:<26} {value:>14,}")
+    print()
+    print(f"top {len(hotspots)} functions by self time:")
+    for entry in hotspots:
+        print(
+            f"  {entry['tottime_s']:9.3f}s self {entry['cumtime_s']:9.3f}s cum "
+            f"{entry['ncalls']:>10} calls  {entry['function']}"
+        )
     return 0
 
 

@@ -19,6 +19,10 @@ The three strategies of the evaluation register themselves at import time
 :mod:`repro.baselines`); :func:`load_builtin_backends` imports them so any
 entry point -- the :mod:`repro.api` session facade, the scenario layer, the
 CLI -- sees a fully populated registry without hard-coding class references.
+
+``docs/api.md`` documents the registration contract and walks through a
+complete third-party backend (registration, option schema derivation,
+addressing it from ``Session.deploy`` and from scenario approach labels).
 """
 
 from __future__ import annotations

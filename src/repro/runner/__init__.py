@@ -17,13 +17,19 @@ a subsystem:
 """
 
 from repro.runner.artifact import (
+    PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
     SCHEMA,
     SCHEMA_VERSION,
     ArtifactError,
     build_artifact,
+    build_profile_artifact,
     load_artifact,
+    load_profile_artifact,
     validate_artifact,
+    validate_profile_artifact,
     write_artifact,
+    write_profile_artifact,
 )
 from repro.runner.cells import Cell, CellResult, execute_cell, run_cells_inline
 from repro.runner.parallel import ParallelRunner, RunReport
@@ -38,6 +44,8 @@ from repro.runner.registry import (
 from repro.runner.select import CellSelector, filter_cells, parse_selectors
 
 __all__ = [
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
     "SCHEMA",
     "SCHEMA_VERSION",
     "ArtifactError",
@@ -49,15 +57,19 @@ __all__ = [
     "RunConfig",
     "RunReport",
     "build_artifact",
+    "build_profile_artifact",
     "execute_cell",
     "experiment_names",
     "filter_cells",
     "get_experiment",
     "load_all",
     "load_artifact",
+    "load_profile_artifact",
     "parse_selectors",
     "register",
     "run_cells_inline",
     "validate_artifact",
+    "validate_profile_artifact",
     "write_artifact",
+    "write_profile_artifact",
 ]

@@ -8,6 +8,13 @@ recorded on different machines.  The CI benchmark gate consumes these
 documents: it checks row-level determinism between worker counts and flags
 wall-time regressions against a committed baseline after normalising by the
 calibration.
+
+``blobcr-repro profile`` emits a sibling document, the **profile artifact**
+(:data:`PROFILE_SCHEMA`): per-cell simulator work counters (events popped,
+bandwidth-solver recomputations, flows settled, component sizes -- exact,
+machine-independent integers, see :mod:`repro.sim.instrumentation`) plus the
+cProfile hotspot table (host-dependent, for humans).  ``docs/performance.md``
+documents how to read both.
 """
 
 from __future__ import annotations
@@ -24,6 +31,9 @@ from repro.util.errors import ConfigurationError
 
 SCHEMA = "blobcr-repro/bench-artifact"
 SCHEMA_VERSION = 1
+
+PROFILE_SCHEMA = "blobcr-repro/profile-artifact"
+PROFILE_SCHEMA_VERSION = 1
 
 
 class ArtifactError(ConfigurationError):
@@ -153,15 +163,126 @@ def validate_artifact(document: Any) -> Dict[str, Any]:
     return document
 
 
-def write_artifact(path: str, document: Dict[str, Any]) -> None:
-    """Validate and write one artifact document (``-`` writes to stdout)."""
-    validate_artifact(document)
+def build_profile_artifact(
+    experiments: List[str],
+    cells: List[Dict[str, Any]],
+    hotspots: List[Dict[str, Any]],
+    wall_time_s: float,
+    paper_scale: bool = False,
+    overrides: Optional[List[str]] = None,
+    seed: Optional[int] = None,
+    argv: Optional[List[str]] = None,
+    calibrate: bool = True,
+) -> Dict[str, Any]:
+    """Build the JSON-serialisable profile-artifact document.
+
+    ``cells`` carry per-cell counter blocks (``{"key", "experiment",
+    "wall_time_s", "sim_time_s", "counters": {...}}``); the aggregate block
+    is folded here so every consumer reads one canonical total.
+    """
+    from repro.sim.instrumentation import aggregate_counters
+
+    environment = environment_info()
+    environment["overrides"] = list(overrides or [])
+    environment["seed"] = seed
+    return {
+        "schema": PROFILE_SCHEMA,
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "run": {
+            "experiments": list(experiments),
+            "paper_scale": paper_scale,
+            "cells": len(cells),
+            "wall_time_s": wall_time_s,
+            "argv": list(argv) if argv is not None else None,
+        },
+        "environment": environment,
+        "calibration": {"spin_time_s": calibration_spin() if calibrate else None},
+        "counters": {
+            "aggregate": aggregate_counters([cell["counters"] for cell in cells]),
+            "per_cell": cells,
+        },
+        "hotspots": hotspots,
+    }
+
+
+def validate_profile_artifact(document: Any) -> Dict[str, Any]:
+    """Check a profile-artifact document against the schema."""
+    if not isinstance(document, dict):
+        raise ArtifactError(f"artifact must be a JSON object, got {type(document).__name__}")
+    if document.get("schema") != PROFILE_SCHEMA:
+        raise ArtifactError(
+            f"not a {PROFILE_SCHEMA} document: schema={document.get('schema')!r}"
+        )
+    version = document.get("schema_version")
+    if not isinstance(version, int) or version > PROFILE_SCHEMA_VERSION or version < 1:
+        raise ArtifactError(
+            f"unsupported schema_version {version!r} "
+            f"(this reader handles <= {PROFILE_SCHEMA_VERSION})"
+        )
+    for section, kind in (
+        ("run", dict),
+        ("environment", dict),
+        ("calibration", dict),
+        ("counters", dict),
+        ("hotspots", list),
+    ):
+        if section not in document:
+            raise ArtifactError(f"artifact is missing the {section!r} section")
+        if not isinstance(document[section], kind):
+            raise ArtifactError(f"artifact {section!r} must be a {kind.__name__}")
+    counters = document["counters"]
+    if not isinstance(counters.get("aggregate"), dict):
+        raise ArtifactError("artifact counters.aggregate must be an object")
+    if not isinstance(counters.get("per_cell"), list):
+        raise ArtifactError("artifact counters.per_cell must be a list")
+    for cell in counters["per_cell"]:
+        if not isinstance(cell, dict):
+            raise ArtifactError(f"artifact cell must be an object, got {type(cell).__name__}")
+        for key in ("key", "experiment", "wall_time_s", "sim_time_s", "counters"):
+            if key not in cell:
+                raise ArtifactError(f"artifact cell is missing {key!r}: {cell.get('key')}")
+        if not isinstance(cell["counters"], dict):
+            raise ArtifactError(f"artifact cell {cell['key']!r} counters must be an object")
+    for entry in document["hotspots"]:
+        if not isinstance(entry, dict):
+            raise ArtifactError("artifact hotspot entries must be objects")
+        for key in ("function", "ncalls", "tottime_s", "cumtime_s"):
+            if key not in entry:
+                raise ArtifactError(f"artifact hotspot entry is missing {key!r}")
+    return document
+
+
+def _write_json(path: str, document: Dict[str, Any]) -> None:
     payload = json.dumps(document, indent=2, sort_keys=False, default=str)
     if path == "-":
         sys.stdout.write(payload + "\n")
         return
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload + "\n")
+
+
+def write_artifact(path: str, document: Dict[str, Any]) -> None:
+    """Validate and write one bench artifact document (``-`` for stdout)."""
+    validate_artifact(document)
+    _write_json(path, document)
+
+
+def write_profile_artifact(path: str, document: Dict[str, Any]) -> None:
+    """Validate and write one profile artifact document (``-`` for stdout)."""
+    validate_profile_artifact(document)
+    _write_json(path, document)
+
+
+def load_profile_artifact(path: str) -> Dict[str, Any]:
+    """Read and validate one profile artifact document from ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path} is not valid JSON: {exc}") from exc
+    return validate_profile_artifact(document)
 
 
 def load_artifact(path: str) -> Dict[str, Any]:

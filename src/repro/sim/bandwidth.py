@@ -11,18 +11,44 @@ so transfers are modelled as *fluid flows*:
 * a flow crosses one or more channels and receives the **max-min fair**
   allocation computed by progressive filling (water-filling) across all
   currently active flows;
-* whenever a flow starts or finishes, all flows are settled (their remaining
-  byte counts advanced at the old rates) and the allocation is recomputed.
+* whenever a flow starts or finishes, the affected flows are settled (their
+  remaining byte counts advanced at the old rates) and rates are recomputed.
 
 The model is deterministic and exact for piecewise-constant rates.
+
+Incremental solving
+-------------------
+
+Max-min fairness decomposes exactly over the *connected components* of the
+flow/channel sharing graph: two flows that share no channel (directly or
+transitively) cannot influence each other's rate, so progressive filling
+over one component yields the same rates as a global recomputation would.
+The engine exploits this on every flow start/finish/abort:
+
+* only the component reachable from the changed flow (BFS over shared
+  channels) is settled and re-allocated -- flows in other components keep
+  both their rate *and* their settle point, so an event on one node's disk
+  never touches the transfers of 4 095 other instances;
+* instead of scanning every flow for the next completion, each allocated
+  flow pushes an absolute completion deadline into a **horizon heap**;
+  superseded entries are invalidated lazily when popped.  One timer is
+  armed per event at the earliest valid deadline (scheduled at the
+  *absolute* deadline, so firing times carry no extra rounding).
+
+:func:`reference_allocation` retains the global water-filling solver as an
+executable specification; ``BandwidthSystem(verify=True)`` cross-checks every
+incremental step against it (rates must match *exactly*, not approximately),
+and the equivalence test suite drives randomised topologies through both.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.sim.core import Environment, Event
+from repro.sim.instrumentation import COUNTERS
 from repro.util.errors import SimulationError
 
 _EPSILON_BYTES = 1e-6
@@ -32,7 +58,7 @@ _EPSILON_TIME = 1e-12
 class FairShareChannel:
     """A shared capacity (bytes/s) that concurrent flows divide fairly."""
 
-    __slots__ = ("system", "capacity", "name", "flows", "bytes_carried")
+    __slots__ = ("system", "capacity", "name", "index", "flows", "_carried_completed")
 
     def __init__(self, system: "BandwidthSystem", capacity: float, name: str = ""):
         if capacity <= 0:
@@ -40,22 +66,55 @@ class FairShareChannel:
         self.system = system
         self.capacity = float(capacity)
         self.name = name or "channel"
+        #: creation order; gives components a deterministic iteration order
+        self.index = system._next_channel_index()
         self.flows: set[Flow] = set()
-        #: total bytes ever carried, for utilisation accounting
-        self.bytes_carried: float = 0.0
+        #: exact bytes delivered by flows that already left this channel
+        self._carried_completed: float = 0.0
 
     @property
     def active_flows(self) -> int:
         return len(self.flows)
+
+    @property
+    def bytes_carried(self) -> float:
+        """Total bytes ever carried, for utilisation accounting.
+
+        Completed (and aborted) flows contribute their exact byte count once,
+        when they detach; in-flight flows contribute what they had delivered
+        as of their last settle.  Unlike a per-settle ``rate * elapsed``
+        running sum, the total is exact once the crossing flows have
+        finished: it equals the sum of their sizes to the last bit.
+        """
+        live = sum(flow.size - flow.remaining for flow in self.flows)
+        return self._carried_completed + live
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<FairShareChannel {self.name} {self.capacity:.3g} B/s {len(self.flows)} flows>"
 
 
 class Flow:
-    """A bulk transfer in flight."""
+    """A bulk transfer in flight.
 
-    __slots__ = ("size", "remaining", "channels", "done", "rate", "started_at", "label")
+    ``remaining`` is the byte count as of ``settled_at`` -- flows are only
+    advanced when their component is touched, so between events the true
+    remaining count is ``remaining - rate * (now - settled_at)``.
+    ``deadline`` is the absolute completion time backing the horizon heap;
+    a heap entry is valid only while it still equals the flow's deadline.
+    """
+
+    __slots__ = (
+        "size",
+        "remaining",
+        "channels",
+        "done",
+        "rate",
+        "started_at",
+        "settled_at",
+        "deadline",
+        "index",
+        "label",
+    )
 
     def __init__(self, size: float, channels: Sequence[FairShareChannel], done: Event, label: str):
         self.size = float(size)
@@ -64,6 +123,9 @@ class Flow:
         self.done = done
         self.rate = 0.0
         self.started_at = done.env.now
+        self.settled_at = done.env.now
+        self.deadline = math.inf
+        self.index = 0
         self.label = label
 
     @property
@@ -74,15 +136,83 @@ class Flow:
         return f"<Flow {self.label} {self.remaining:.0f}/{self.size:.0f}B @ {self.rate:.3g}B/s>"
 
 
-class BandwidthSystem:
-    """Owner of all channels and flows of one simulation environment."""
+def reference_allocation(flows: Iterable["Flow"]) -> Dict["Flow", float]:
+    """Global max-min fair rates by progressive filling (the reference solver).
 
-    def __init__(self, env: Environment):
+    This is the executable specification the incremental engine must agree
+    with: fill every channel's capacity in rounds, always freezing the flows
+    of the currently most constrained channel at its fair share.  The
+    incremental engine runs the very same procedure restricted to one
+    connected component; because a freeze only mutates state inside its own
+    component, the restriction is *exactly* equivalent -- which
+    ``BandwidthSystem(verify=True)`` and the equivalence test suite assert
+    bit-for-bit on every recomputation.
+
+    Flows are processed in creation order (:attr:`Flow.index`) so the
+    result is independent of set iteration order.
+    """
+    ordered = sorted(flows, key=lambda f: f.index)
+    rates: Dict[Flow, float] = {}
+    unfrozen = set(ordered)
+    cap_left: Dict[FairShareChannel, float] = {}
+    users: Dict[FairShareChannel, int] = {}
+    for flow in ordered:
+        for chan in flow.channels:
+            cap_left.setdefault(chan, chan.capacity)
+            users[chan] = users.get(chan, 0) + 1
+    while unfrozen:
+        # Find the most constrained channel among those still serving
+        # unfrozen flows.
+        bottleneck = None
+        share = math.inf
+        for chan, count in users.items():
+            if count <= 0:
+                continue
+            chan_share = cap_left[chan] / count
+            if chan_share < share:
+                share = chan_share
+                bottleneck = chan
+        if bottleneck is None:
+            # Remaining flows cross no constrained channel; they are
+            # effectively unlimited (should not happen: zero-channel flows
+            # complete immediately in transfer()).
+            for flow in unfrozen:
+                rates[flow] = math.inf
+            break
+        frozen_now = [f for f in ordered if f in unfrozen and bottleneck in f.channels]
+        for flow in frozen_now:
+            rates[flow] = share
+            unfrozen.discard(flow)
+            for chan in flow.channels:
+                cap_left[chan] = max(0.0, cap_left[chan] - share)
+                users[chan] -= 1
+    return rates
+
+
+class BandwidthSystem:
+    """Owner of all channels and flows of one simulation environment.
+
+    ``verify=True`` re-derives every flow's rate through
+    :func:`reference_allocation` over the *whole* system after each
+    incremental recomputation and raises on any mismatch -- slow, but it
+    turns the component-decomposition argument into a runtime assertion
+    (used by the equivalence tests; harmless to enable on small models).
+    """
+
+    def __init__(self, env: Environment, verify: bool = False):
         self.env = env
+        self.verify = verify
         self._flows: set[Flow] = set()
-        self._last_settle = env.now
+        self._flow_index = 0
+        self._channel_index = 0
+        #: completion-horizon heap of (deadline, push sequence, flow);
+        #: entries are invalidated lazily (see _arm_timer / _on_timer)
+        self._heap: List[Tuple[float, int, Flow]] = []
+        self._heap_seq = 0
         self._timer_generation = 0
         self.completed_flows = 0
+        #: exact total bytes delivered by completed flows
+        self.bytes_delivered = 0.0
 
     # -- public API -------------------------------------------------------------
 
@@ -127,11 +257,19 @@ class BandwidthSystem:
         if nbytes <= _EPSILON_BYTES or not channel_list:
             completion.succeed(flow)
             return done
-        self._settle()
+        COUNTERS.bw_flows_started += 1
+        # Starting a flow can merge components: settle everything reachable
+        # from any of its channels before the rates change.
+        component = self._component(channel_list)
+        self._settle(component)
+        self._flow_index += 1
+        flow.index = self._flow_index
+        flow.settled_at = self.env.now
         self._flows.add(flow)
         for chan in channel_list:
             chan.flows.add(flow)
-        self._replan()
+        component.append(flow)  # highest index: the sort order is preserved
+        self._replan(component)
         return done
 
     def fail_channel(self, channel: FairShareChannel, exception: BaseException) -> int:
@@ -141,15 +279,18 @@ class BandwidthSystem:
         disk channels fail, which aborts all in-flight transfers touching it.
         Returns the number of aborted flows.
         """
-        victims = [f for f in self._flows if channel in f.channels]
-        if not victims:
+        if not channel.flows:
             return 0
-        self._settle()
+        component = self._component([channel])
+        self._settle(component)
+        victims = sorted(channel.flows, key=lambda f: f.index)
         for flow in victims:
-            self._detach(flow)
+            # Aborted flows contribute what they actually delivered.
+            self._detach(flow, flow.size - flow.remaining)
             if not flow.done.triggered:
                 flow.done.fail(exception)
-        self._replan()
+        survivors = [f for f in component if channel not in f.channels]
+        self._replan(survivors)
         return len(victims)
 
     @property
@@ -158,96 +299,178 @@ class BandwidthSystem:
 
     # -- internals ----------------------------------------------------------------
 
-    def _detach(self, flow: Flow) -> None:
+    def _next_channel_index(self) -> int:
+        self._channel_index += 1
+        return self._channel_index
+
+    def _component(self, channels: Iterable[FairShareChannel]) -> List[Flow]:
+        """Flows transitively sharing a channel with any of ``channels``.
+
+        BFS over the bipartite flow/channel graph; the result is sorted by
+        flow creation order so settling and progressive filling iterate
+        deterministically (never in set order).
+        """
+        seen_channels: Set[FairShareChannel] = set()
+        stack: List[FairShareChannel] = []
+        for chan in channels:
+            if chan not in seen_channels:
+                seen_channels.add(chan)
+                stack.append(chan)
+        seen_flows: Set[Flow] = set()
+        flows: List[Flow] = []
+        while stack:
+            chan = stack.pop()
+            for flow in chan.flows:
+                if flow in seen_flows:
+                    continue
+                seen_flows.add(flow)
+                flows.append(flow)
+                for other in flow.channels:
+                    if other not in seen_channels:
+                        seen_channels.add(other)
+                        stack.append(other)
+        flows.sort(key=lambda f: f.index)
+        COUNTERS.bw_components += 1
+        COUNTERS.bw_component_flows += len(flows)
+        COUNTERS.bw_component_channels += len(seen_channels)
+        if len(flows) > COUNTERS.bw_max_component_flows:
+            COUNTERS.bw_max_component_flows = len(flows)
+        return flows
+
+    def _settle(self, flows: List[Flow]) -> None:
+        """Advance the given flows to the current time at their last rates."""
+        now = self.env.now
+        COUNTERS.bw_settles += 1
+        COUNTERS.bw_flows_settled += len(flows)
+        for flow in flows:
+            elapsed = now - flow.settled_at
+            flow.settled_at = now
+            if elapsed <= _EPSILON_TIME:
+                continue
+            moved = flow.rate * elapsed
+            if moved > 0.0:
+                flow.remaining = max(0.0, flow.remaining - moved)
+
+    def _detach(self, flow: Flow, delivered: float) -> None:
         self._flows.discard(flow)
         for chan in flow.channels:
             chan.flows.discard(flow)
+            chan._carried_completed += delivered
 
-    def _settle(self) -> None:
-        """Advance every active flow to the current time at its last rate."""
+    def _replan(self, component: List[Flow]) -> None:
+        """Complete finished flows, re-allocate the rest, re-arm the timer.
+
+        ``component`` must already be settled and sorted by flow index.
+        """
+        live: List[Flow] = []
+        for flow in component:
+            if flow.finished:
+                self._detach(flow, flow.size)
+                self.completed_flows += 1
+                self.bytes_delivered += flow.size
+                COUNTERS.bw_flows_completed += 1
+                if not flow.done.triggered:
+                    flow.done.succeed(flow)
+            else:
+                live.append(flow)
+        if live:
+            self._allocate(live)
+            self._push_deadlines(live)
+        if self.verify:
+            self._verify_against_reference()
+        self._arm_timer()
+
+    def _allocate(self, flows: List[Flow]) -> None:
+        """Progressive filling restricted to one (settled) component."""
+        COUNTERS.bw_allocations += 1
+        COUNTERS.bw_flows_allocated += len(flows)
+        for flow, rate in reference_allocation(flows).items():
+            flow.rate = rate
+
+    def _push_deadlines(self, flows: List[Flow]) -> None:
+        """Recompute the absolute completion deadline of each flow."""
         now = self.env.now
-        elapsed = now - self._last_settle
-        self._last_settle = now
-        if elapsed <= _EPSILON_TIME:
-            return
-        for flow in self._flows:
-            moved = flow.rate * elapsed
-            flow.remaining = max(0.0, flow.remaining - moved)
-            for chan in flow.channels:
-                chan.bytes_carried += moved
+        for flow in flows:
+            rate = flow.rate
+            if rate <= 0.0:
+                # Starved flow: no finite horizon of its own.  _arm_timer
+                # raises if the whole system ends up in this state.
+                flow.deadline = math.inf
+                continue
+            horizon = flow.remaining / rate  # 0.0 for rate == inf
+            if horizon <= _EPSILON_TIME:
+                # Float residue left a completion horizon below the settle
+                # threshold: a timer there would fire, _settle() would skip
+                # the sub-epsilon elapsed time and the same instant would be
+                # rescheduled forever.  Nudge the horizon just past the
+                # threshold so the residue is actually drained (rate changes
+                # mid-flight -- e.g. failure injection detaching flows --
+                # can produce this).
+                horizon = _EPSILON_TIME * 10
+            deadline = now + horizon
+            flow.deadline = deadline
+            self._heap_seq += 1
+            heapq.heappush(self._heap, (deadline, self._heap_seq, flow))
 
-    def _allocate(self) -> None:
-        """Compute max-min fair rates by progressive filling."""
-        unfrozen = {f for f in self._flows}
-        cap_left: dict[FairShareChannel, float] = {}
-        users: dict[FairShareChannel, int] = {}
-        for flow in self._flows:
-            for chan in flow.channels:
-                cap_left.setdefault(chan, chan.capacity)
-                users[chan] = users.get(chan, 0) + 1
-        while unfrozen:
-            # Find the most constrained channel among those still serving
-            # unfrozen flows.
-            bottleneck = None
-            share = math.inf
-            for chan, count in users.items():
-                if count <= 0:
-                    continue
-                chan_share = cap_left[chan] / count
-                if chan_share < share:
-                    share = chan_share
-                    bottleneck = chan
-            if bottleneck is None:
-                # Remaining flows cross no constrained channel; they are
-                # effectively unlimited (should not happen: zero-channel flows
-                # complete immediately in transfer()).
-                for flow in unfrozen:
-                    flow.rate = math.inf
+    def _arm_timer(self) -> None:
+        """Schedule the horizon timer at the earliest valid deadline."""
+        heap = self._heap
+        while heap:
+            when, _seq, flow = heap[0]
+            if flow in self._flows and flow.deadline == when:
                 break
-            frozen_now = [f for f in unfrozen if bottleneck in f.channels]
-            for flow in frozen_now:
-                flow.rate = share
-                unfrozen.discard(flow)
-                for chan in flow.channels:
-                    cap_left[chan] = max(0.0, cap_left[chan] - share)
-                    users[chan] -= 1
-
-    def _replan(self) -> None:
-        """Recompute rates and schedule the next completion check."""
-        finished = [f for f in self._flows if f.finished]
-        for flow in finished:
-            self._detach(flow)
-            self.completed_flows += 1
-            if not flow.done.triggered:
-                flow.done.succeed(flow)
+            heapq.heappop(heap)
+            COUNTERS.bw_stale_deadlines += 1
         if not self._flows:
             return
-        self._allocate()
-        horizon = math.inf
-        for flow in self._flows:
-            if flow.rate <= 0:
-                continue
-            horizon = min(horizon, flow.remaining / flow.rate)
-        if not math.isfinite(horizon):
+        if not heap:
             raise SimulationError("active flows but no finite completion horizon")
-        if horizon <= _EPSILON_TIME:
-            # Float residue left a flow with a completion horizon below the
-            # settle threshold: the timer would fire, _settle() would skip the
-            # sub-epsilon elapsed time and _replan() would reschedule the same
-            # instant forever.  Nudge the horizon just past the threshold so
-            # the residue is actually drained (rate changes mid-flight --
-            # e.g. failure injection detaching flows -- can produce this).
-            horizon = _EPSILON_TIME * 10
         self._timer_generation += 1
         generation = self._timer_generation
-        timer = self.env.timeout(max(horizon, 0.0))
+        timer = Event(self.env, "bw-horizon")
+        timer._ok = True
+        timer._value = None
         timer.callbacks.append(lambda _e, g=generation: self._on_timer(g))
+        # Absolute scheduling: the timer fires at the deadline float itself,
+        # not at now + (deadline - now), which could round differently.
+        self.env.schedule_at(timer, heap[0][0])
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._timer_generation:
             return  # superseded by a newer plan
-        self._settle()
-        self._replan()
+        now = self.env.now
+        seeds: List[Flow] = []
+        seen: Set[Flow] = set()
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            when, _seq, flow = heapq.heappop(heap)
+            if flow not in self._flows or flow.deadline != when:
+                COUNTERS.bw_stale_deadlines += 1
+                continue
+            if flow not in seen:
+                seen.add(flow)
+                seeds.append(flow)
+        if not seeds:
+            self._arm_timer()
+            return
+        channels: List[FairShareChannel] = []
+        for flow in seeds:
+            channels.extend(flow.channels)
+        # Deadlines can coincide across components; one merged BFS settles
+        # every affected component (allocation over a union of disjoint
+        # components equals allocating each separately).
+        component = self._component(channels)
+        self._settle(component)
+        self._replan(component)
+
+    def _verify_against_reference(self) -> None:
+        expected = reference_allocation(self._flows)
+        for flow, rate in expected.items():
+            if flow.rate != rate:
+                raise SimulationError(
+                    f"incremental allocation diverged from the reference solver for "
+                    f"{flow!r}: incremental {flow.rate!r}, reference {rate!r}"
+                )
 
 
 class Delayed(Event):

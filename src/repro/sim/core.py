@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.sim.instrumentation import COUNTERS
 from repro.util.errors import SimulationError
 
 # Event priorities: URGENT is used for process resumption bookkeeping so that
@@ -357,6 +358,22 @@ class Environment:
         heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
         event._scheduled = True
 
+    def schedule_at(self, event: Event, when: float, priority: int = NORMAL) -> None:
+        """Schedule an already-triggered event at an *absolute* simulated time.
+
+        ``_schedule`` computes the firing time as ``now + delay``, which
+        rounds; callers that already hold the exact firing time (the
+        bandwidth system's completion-horizon timers) use this instead, so
+        the event fires at that float and not one ulp away from it.
+        """
+        if event._ok is None:
+            raise SimulationError(f"schedule_at() requires a triggered event, got {event!r}")
+        if when < self._now - 1e-12:
+            raise SimulationError(f"cannot schedule an event in the past ({when} < {self._now})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (max(when, self._now), priority, self._sequence, event))
+        event._scheduled = True
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -368,6 +385,7 @@ class Environment:
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
+        COUNTERS.events_popped += 1
         self._now = max(self._now, when)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:

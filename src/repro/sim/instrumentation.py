@@ -1,0 +1,106 @@
+"""Process-global simulation counters feeding ``blobcr-repro profile``.
+
+The simulator is deterministic, so every counter here is a *property of the
+model*, not of the host: two runs of the same cell produce identical counts
+on any machine.  That makes the counters the stable half of a profile
+artifact -- wall-clock hotspots vary with hardware, the counter block does
+not -- and lets a regression in algorithmic work (e.g. the bandwidth solver
+recomputing more components than it should) show up as an exact integer
+diff instead of a noisy timing.
+
+The counters are process-global on purpose: one experiment cell builds its
+own :class:`~repro.sim.core.Environment` (often several, one per approach),
+and the profiler wants the total work of the cell, not of one environment.
+The profile runner resets the counters around each cell
+(:func:`counters_reset` / :func:`counters_snapshot`); nothing in the
+simulation ever *reads* them, so they cannot affect results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict
+
+#: counter fields aggregated with ``max`` instead of ``+`` across cells
+MAX_FIELDS = frozenset({"bw_max_component_flows"})
+
+
+@dataclass
+class SimCounters:
+    """Work counters of the DES kernel and the bandwidth solver."""
+
+    #: events popped off the environment queue (``Environment.step``)
+    events_popped: int = 0
+    #: flows started through ``BandwidthSystem.transfer``
+    bw_flows_started: int = 0
+    #: flows completed (last byte delivered)
+    bw_flows_completed: int = 0
+    #: component discoveries (BFS over channels shared by flows)
+    bw_components: int = 0
+    #: total flows across all discovered components
+    bw_component_flows: int = 0
+    #: total channels across all discovered components
+    bw_component_channels: int = 0
+    #: largest component (in flows) seen so far
+    bw_max_component_flows: int = 0
+    #: settle passes (one per component event)
+    bw_settles: int = 0
+    #: flows advanced by settle passes
+    bw_flows_settled: int = 0
+    #: max-min rate recomputations (progressive-filling runs)
+    bw_allocations: int = 0
+    #: flows assigned a rate by those recomputations
+    bw_flows_allocated: int = 0
+    #: lazily discarded completion-horizon heap entries
+    bw_stale_deadlines: int = 0
+    #: slot requests on FIFO resources
+    resource_requests: int = 0
+    #: slot requests that had to queue behind a full resource
+    resource_waits: int = 0
+    #: items deposited into stores
+    store_puts: int = 0
+    #: blocking gets issued against stores
+    store_gets: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def snapshot(self) -> "SimCounters":
+        return replace(self)
+
+    def reset(self) -> None:
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+
+#: the process-global counter block (see module docstring)
+COUNTERS = SimCounters()
+
+
+def counters_snapshot() -> SimCounters:
+    """An immutable-by-convention copy of the current counters."""
+    return COUNTERS.snapshot()
+
+
+def counters_reset() -> None:
+    """Zero the process-global counters (the profile runner's per-cell hook)."""
+    COUNTERS.reset()
+
+
+def aggregate_counters(per_cell: list) -> Dict[str, int]:
+    """Fold per-cell counter dicts into one aggregate block.
+
+    Additive fields sum; :data:`MAX_FIELDS` take the maximum across cells
+    (a "largest component" is not meaningful as a sum).
+    """
+    total: Dict[str, int] = {spec.name: 0 for spec in fields(SimCounters)}
+    for counters in per_cell:
+        for key, value in counters.items():
+            # Seed unknown keys so cells recorded by a build with extra
+            # counters (still valid artifacts) aggregate instead of raising.
+            total.setdefault(key, 0)
+            if key in MAX_FIELDS:
+                total[key] = max(total[key], value)
+            else:
+                total[key] = total[key] + value
+    return total

@@ -6,6 +6,7 @@ from collections import deque
 from typing import Any, Deque, Optional
 
 from repro.sim.core import Environment, Event
+from repro.sim.instrumentation import COUNTERS
 from repro.util.errors import SimulationError
 
 
@@ -52,11 +53,13 @@ class Resource:
         return len(self._waiting)
 
     def request(self) -> Request:
+        COUNTERS.resource_requests += 1
         req = Request(self.env, self)
         if len(self._users) < self.capacity:
             self._users.add(req)
             req.succeed(self)
         else:
+            COUNTERS.resource_waits += 1
             self._waiting.append(req)
         return req
 
@@ -97,6 +100,7 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Deposit an item, waking one waiting getter if any."""
+        COUNTERS.store_puts += 1
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -105,6 +109,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next available item."""
+        COUNTERS.store_gets += 1
         event = Event(self.env, f"{self.name}.get")
         if self._items:
             event.succeed(self._items.popleft())

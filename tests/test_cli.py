@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.scenarios.results import ExperimentResult
-from repro.runner import load_artifact
+from repro.runner import load_artifact, load_profile_artifact
 from repro.runner.registry import _REGISTRY, ExperimentSpec, register
 
 
@@ -197,3 +197,50 @@ class TestZeroRowResilience:
         # rows carrying only empty dicts behave the same
         result.rows.append({})
         assert "(no rows)" in result.to_table()
+
+
+class TestProfileSubcommand:
+    def test_profile_writes_counters_and_artifact(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        argv = [
+            "profile",
+            "--cells",
+            "fig7:off",
+            "--profile-artifact",
+            str(path),
+            "--no-progress",
+            "--top",
+            "5",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "simulator work counters" in out
+        assert "events_popped" in out
+        document = load_profile_artifact(str(path))
+        assert document["run"]["argv"] == argv
+        assert document["run"]["cells"] == 1
+        assert len(document["hotspots"]) == 5
+        (cell,) = document["counters"]["per_cell"]
+        assert cell["key"] == "fig7:off"
+        counters = cell["counters"]
+        assert counters["events_popped"] > 0
+        assert counters["bw_flows_completed"] > 0
+        assert counters["bw_flows_started"] == counters["bw_flows_completed"]
+        aggregate = document["counters"]["aggregate"]
+        assert aggregate["events_popped"] == counters["events_popped"]
+
+    def test_profile_counters_are_deterministic(self, tmp_path, capsys):
+        documents = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            argv = ["profile", "--cells", "fig7:off", "--profile-artifact", str(path)]
+            assert main(argv) == 0
+            capsys.readouterr()
+            documents.append(load_profile_artifact(str(path)))
+        first, second = (d["counters"]["aggregate"] for d in documents)
+        assert first == second  # exact: counters are properties of the model
+
+    def test_profile_shares_run_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "nosuch"])
+        assert "unknown experiment" in capsys.readouterr().err

@@ -11,13 +11,17 @@ from repro.runner import (
     ParallelRunner,
     RunConfig,
     build_artifact,
+    build_profile_artifact,
     experiment_names,
     get_experiment,
     load_all,
     load_artifact,
+    load_profile_artifact,
     parse_selectors,
     validate_artifact,
+    validate_profile_artifact,
     write_artifact,
+    write_profile_artifact,
 )
 from repro.runner.cells import run_cells_inline
 from repro.runner.regression import (
@@ -196,6 +200,63 @@ class TestArtifact:
         bad.write_text("{not json")
         with pytest.raises(ArtifactError, match="not valid JSON"):
             load_artifact(str(bad))
+
+
+class TestProfileArtifact:
+    @pytest.fixture()
+    def profile_document(self):
+        return build_profile_artifact(
+            experiments=["fig7"],
+            cells=[
+                {
+                    "key": "fig7:off",
+                    "experiment": "fig7",
+                    "wall_time_s": 0.5,
+                    "sim_time_s": 12.0,
+                    "counters": {"events_popped": 100, "bw_max_component_flows": 3},
+                },
+                {
+                    "key": "fig7:zlib",
+                    "experiment": "fig7",
+                    "wall_time_s": 0.7,
+                    "sim_time_s": 13.0,
+                    "counters": {"events_popped": 50, "bw_max_component_flows": 7},
+                },
+            ],
+            hotspots=[
+                {"function": "repro/x.py:1(f)", "ncalls": 10, "tottime_s": 0.1, "cumtime_s": 0.2}
+            ],
+            wall_time_s=1.25,
+            argv=["profile", "fig7"],
+            calibrate=False,
+        )
+
+    def test_round_trip_and_aggregation(self, tmp_path, profile_document):
+        path = tmp_path / "profile.json"
+        write_profile_artifact(str(path), profile_document)
+        loaded = load_profile_artifact(str(path))
+        assert loaded == validate_profile_artifact(loaded)
+        aggregate = loaded["counters"]["aggregate"]
+        assert aggregate["events_popped"] == 150  # additive
+        assert aggregate["bw_max_component_flows"] == 7  # max, not sum
+        assert loaded["run"]["cells"] == 2
+        assert loaded["run"]["wall_time_s"] == 1.25
+
+    def test_validator_rejects_malformed_documents(self, profile_document):
+        with pytest.raises(ArtifactError, match="schema"):
+            validate_profile_artifact({"schema": "blobcr-repro/bench-artifact"})
+        broken = copy.deepcopy(profile_document)
+        broken["counters"]["per_cell"][0].pop("counters")
+        with pytest.raises(ArtifactError, match="missing 'counters'"):
+            validate_profile_artifact(broken)
+        broken = copy.deepcopy(profile_document)
+        broken["hotspots"] = [{"function": "f"}]
+        with pytest.raises(ArtifactError, match="hotspot"):
+            validate_profile_artifact(broken)
+        broken = copy.deepcopy(profile_document)
+        broken["schema_version"] = 99
+        with pytest.raises(ArtifactError, match="schema_version"):
+            validate_profile_artifact(broken)
 
 
 class TestRegressionGate:

@@ -182,7 +182,7 @@ class TestConservation:
         finish = [times[i] for i in order]
         assert all(finish[i] <= finish[i + 1] + 1e-6 for i in range(len(finish) - 1))
 
-    def test_bytes_carried_accounting(self):
+    def test_bytes_carried_accounting_is_exact(self):
         env = Environment()
         bw = BandwidthSystem(env)
         link = bw.channel(100.0, "link")
@@ -192,4 +192,50 @@ class TestConservation:
 
         env.process(mover())
         env.run()
+        # Exact, not approximate: completed flows contribute their size once,
+        # at detach, instead of a rounding per-settle multiply-add.
+        assert link.bytes_carried == 500.0
+        assert bw.bytes_delivered == 500.0
+
+    def test_bytes_carried_exact_under_many_rate_changes(self):
+        """A staggered workload forces dozens of re-settles per flow; the
+        carried-bytes totals must still be exact to the last bit."""
+        env = Environment()
+        bw = BandwidthSystem(env)
+        link = bw.channel(97.0, "link")
+        sizes = [1000.0 + 13.7 * i for i in range(20)]
+
+        def mover(delay, nbytes):
+            yield env.timeout(delay)
+            yield bw.transfer(nbytes, [link])
+
+        for i, nbytes in enumerate(sizes):
+            env.process(mover(i * 0.37, nbytes))
+        env.run()
+        # Conservation: sum of settled bytes == sum of completed flow sizes.
+        assert bw.bytes_delivered == sum(sizes)
+        assert link.bytes_carried == sum(sizes)
+        assert bw.completed_flows == len(sizes)
+
+    def test_aborted_flows_contribute_delivered_bytes_only(self):
+        env = Environment()
+        bw = BandwidthSystem(env)
+        link = bw.channel(100.0, "link")
+
+        def mover():
+            try:
+                yield bw.transfer(1000.0, [link])
+            except FailureInjected:
+                pass
+
+        def killer():
+            yield env.timeout(5)
+            bw.fail_channel(link, FailureInjected())
+
+        env.process(mover())
+        env.process(killer())
+        env.run()
+        # 5 s at 100 B/s: the aborted flow carried 500 of its 1000 bytes.
         assert link.bytes_carried == pytest.approx(500.0)
+        assert bw.bytes_delivered == 0.0
+        assert bw.completed_flows == 0

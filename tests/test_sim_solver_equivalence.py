@@ -1,0 +1,243 @@
+"""Equivalence of the incremental bandwidth solver and the reference solver.
+
+The incremental engine (``repro.sim.bandwidth``) settles and re-allocates
+only the connected component of flows/channels touched by an event; the
+retained :func:`~repro.sim.bandwidth.reference_allocation` water-filling
+solver computes global max-min fair rates from scratch.  These tests assert
+the two agree *exactly* (float equality, not approximately):
+
+* ``BandwidthSystem(verify=True)`` re-derives every flow's rate globally
+  after each incremental recomputation and raises on any mismatch -- the
+  property tests drive randomised multi-channel topologies and start/finish
+  schedules through it;
+* component discovery must never cross disjoint fabrics, and a fabric's
+  completion times must be bit-identical whether or not unrelated fabrics
+  are busy (the strongest observable form of component independence).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BandwidthSystem, Environment
+from repro.sim.bandwidth import reference_allocation
+from repro.util.errors import SimulationError
+
+
+def build_system(verify=True):
+    env = Environment()
+    return env, BandwidthSystem(env, verify=verify)
+
+
+# -- randomised schedules through the runtime cross-check -----------------------------
+
+
+@st.composite
+def topologies(draw):
+    """A random multi-channel fabric plus a start/finish schedule over it."""
+    n_channels = draw(st.integers(2, 6))
+    capacities = [
+        draw(st.floats(1.0, 1e4, allow_nan=False, allow_infinity=False))
+        for _ in range(n_channels)
+    ]
+    n_flows = draw(st.integers(1, 12))
+    flows = []
+    for _ in range(n_flows):
+        crossed = draw(
+            st.lists(st.integers(0, n_channels - 1), min_size=1, max_size=3, unique=True)
+        )
+        size = draw(st.floats(1.0, 1e5))
+        start = draw(st.floats(0.0, 50.0))
+        flows.append((crossed, size, start))
+    return capacities, flows
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology=topologies())
+def test_incremental_rates_match_reference_exactly(topology):
+    """Every recomputation along a random schedule matches the global solver.
+
+    verify=True makes the engine raise SimulationError at the *first* event
+    where any flow's incremental rate differs from the reference allocation
+    over the whole system, so simply running to completion is the assertion.
+    """
+    capacities, flow_specs = topology
+    env, bw = build_system(verify=True)
+    channels = [bw.channel(cap, f"ch{i}") for i, cap in enumerate(capacities)]
+    done_times = {}
+
+    def mover(i, crossed, size, start):
+        yield env.timeout(start)
+        yield bw.transfer(size, [channels[c] for c in crossed], label=f"f{i}")
+        done_times[i] = env.now
+
+    for i, (crossed, size, start) in enumerate(flow_specs):
+        env.process(mover(i, crossed, size, start))
+    env.run()
+    assert len(done_times) == len(flow_specs)
+    assert bw.active_flows == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(topology=topologies(), fail_at=st.floats(0.5, 20.0), victim=st.integers(0, 5))
+def test_incremental_rates_match_reference_under_channel_failure(topology, fail_at, victim):
+    """Aborting flows mid-flight (fail-stop) must keep rates reference-exact."""
+    capacities, flow_specs = topology
+    env, bw = build_system(verify=True)
+    channels = [bw.channel(cap, f"ch{i}") for i, cap in enumerate(capacities)]
+    outcomes = {}
+
+    def mover(i, crossed, size, start):
+        yield env.timeout(start)
+        try:
+            yield bw.transfer(size, [channels[c] for c in crossed], label=f"f{i}")
+            outcomes[i] = "done"
+        except RuntimeError:
+            outcomes[i] = "failed"
+
+    def killer():
+        yield env.timeout(fail_at)
+        bw.fail_channel(channels[victim % len(channels)], RuntimeError("fabric died"))
+
+    for i, (crossed, size, start) in enumerate(flow_specs):
+        env.process(mover(i, crossed, size, start))
+    env.process(killer())
+    env.run()
+    assert len(outcomes) == len(flow_specs)
+
+
+# -- the reference solver itself -------------------------------------------------------
+
+
+class TestReferenceSolver:
+    def test_single_bottleneck_split_evenly(self):
+        env, bw = build_system(verify=False)
+        link = bw.channel(90.0, "link")
+        done = [bw.transfer(1000.0, [link], label=f"t{i}") for i in range(3)]
+        rates = reference_allocation(bw._flows)
+        assert sorted(rates.values()) == [30.0, 30.0, 30.0]
+        env.run()
+        assert all(d.processed for d in done)
+
+    def test_cross_traffic_water_filling(self):
+        env, bw = build_system(verify=False)
+        a = bw.channel(100.0, "A")
+        b = bw.channel(40.0, "B")
+        bw.transfer(4000.0, [a, b], label="ab")
+        bw.transfer(6000.0, [a], label="a")
+        by_label = {f.label: r for f, r in reference_allocation(bw._flows).items()}
+        # Max-min: the two-channel flow is limited by B to 40, the other
+        # flow then takes the remaining 60 on A.
+        assert by_label["ab"] == 40.0
+        assert by_label["a"] == 60.0
+        env.run()
+
+    def test_empty_input(self):
+        assert reference_allocation([]) == {}
+
+
+# -- component partitioning ------------------------------------------------------------
+
+
+class TestComponentPartitioning:
+    def test_components_never_cross_disjoint_fabrics(self):
+        """Two fabrics without a shared channel stay separate components."""
+        env, bw = build_system(verify=False)
+        # Fabric 1: a switch with two NICs.  Fabric 2: an isolated disk.
+        switch = bw.channel(100.0, "switch")
+        nic_a = bw.channel(50.0, "nic-a")
+        nic_b = bw.channel(50.0, "nic-b")
+        disk = bw.channel(80.0, "disk")
+        bw.transfer(1000.0, [nic_a, switch], label="net-1")
+        bw.transfer(1000.0, [nic_b, switch], label="net-2")
+        bw.transfer(1000.0, [disk], label="disk-io")
+        net = bw._component([switch])
+        assert sorted(f.label for f in net) == ["net-1", "net-2"]
+        isolated = bw._component([disk])
+        assert [f.label for f in isolated] == ["disk-io"]
+        env.run()
+
+    def test_components_merge_through_shared_channels(self):
+        env, bw = build_system(verify=False)
+        a = bw.channel(10.0, "a")
+        b = bw.channel(10.0, "b")
+        c = bw.channel(10.0, "c")
+        bw.transfer(100.0, [a, b], label="ab")
+        bw.transfer(100.0, [b, c], label="bc")
+        component = bw._component([a])
+        assert sorted(f.label for f in component) == ["ab", "bc"]
+        env.run()
+
+    def test_fabric_times_independent_of_unrelated_traffic(self):
+        """A fabric's completion times must not change when a disjoint
+        fabric is busy -- not even in the last float ulp.
+
+        This is the observable guarantee of component partitioning: under
+        the historical global recomputation, unrelated events re-rounded
+        every flow's remaining bytes, so heavy traffic elsewhere could shift
+        completion times by a few ulps.
+        """
+
+        def run_fabric(with_noise):
+            env = Environment()
+            bw = BandwidthSystem(env)
+            link = bw.channel(73.0, "fabric-a")
+            times = {}
+
+            def mover(i, delay, nbytes, channel):
+                yield env.timeout(delay)
+                yield bw.transfer(nbytes, [channel], label=f"m{i}")
+                times[i] = env.now
+
+            for i in range(5):
+                env.process(mover(i, i * 0.13, 911.0 + 37.3 * i, link))
+            if with_noise:
+                noise = bw.channel(19.0, "fabric-b")
+                for i in range(40):
+                    env.process(mover(100 + i, i * 0.05, 131.7 + i, noise))
+            env.run()
+            return {k: v for k, v in times.items() if k < 100}
+
+        quiet = run_fabric(with_noise=False)
+        noisy = run_fabric(with_noise=True)
+        assert quiet == noisy  # exact float equality, not approx
+
+    def test_starved_system_raises(self):
+        """No active flow with a finite horizon is a modelling error."""
+        env, bw = build_system(verify=False)
+        link = bw.channel(10.0, "link")
+        bw.transfer(100.0, [link])
+        # Force an impossible state: zero out the rate behind the engine's
+        # back and ask it to replan.
+        (flow,) = bw._flows
+        flow.rate = 0.0
+        flow.deadline = math.inf
+        bw._heap.clear()
+        with pytest.raises(SimulationError):
+            bw._arm_timer()
+
+
+# -- deterministic work accounting -----------------------------------------------------
+
+
+class TestSolverCounters:
+    def test_component_counters_reflect_partitioning(self):
+        from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+        counters_reset()
+        env, bw = build_system(verify=False)
+        disks = [bw.channel(50.0, f"disk{i}") for i in range(4)]
+        for i, disk in enumerate(disks):
+            # Distinct sizes so no two completions coincide (coinciding
+            # deadlines are legitimately recomputed as one merged batch).
+            bw.transfer(500.0 + 10.0 * i, [disk], label=f"io{i}")
+        env.run()
+        after = counters_snapshot()
+        assert after.bw_flows_started == 4
+        assert after.bw_flows_completed == 4
+        # Single-channel fabrics: no recomputation ever spans more than one
+        # flow, no matter how many disks are busy at once.
+        assert after.bw_max_component_flows == 1
+        assert after.bw_allocations >= 4

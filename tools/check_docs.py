@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Documentation link checker (the CI ``docs`` job).
+
+Checks ``README.md`` plus every page under ``docs/`` for:
+
+* **relative links** — ``[text](path)`` targets must exist on disk
+  (``http(s)://`` and ``mailto:`` links are out of scope: CI must not
+  depend on external availability);
+* **anchors** — ``page.md#section`` must name a real heading of the target
+  page (GitHub slug rules), including same-page ``#section`` links;
+* **file:line anchors** — inline code spans like ``src/repro/cli.py:42``
+  must point at an existing file with at least that many lines, and plain
+  repo-path spans like ``benchmarks/baseline.json`` must exist;
+* **orphans** — every ``docs/*.md`` page must be reachable from
+  ``README.md`` by following relative markdown links.
+
+Pure stdlib so the CI job needs no package install.  Exits non-zero and
+prints one line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+#: ``path/to/file.py:123`` inside a code span
+FILE_LINE_RE = re.compile(r"^([\w./-]+\.(?:py|md|yml|yaml|json|toml)):(\d+)$")
+#: a repo-relative file path inside a code span (must contain a slash so
+#: shell snippets and bare module names are not misread as paths)
+FILE_RE = re.compile(r"^\.?[\w./-]*/[\w.-]+\.(?:py|md|yml|yaml|json|toml)$")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def page_anchors(text: str) -> Set[str]:
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            anchors.add(github_slug(line.lstrip("#")))
+    return anchors
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced code blocks (their content is not rendered as links)."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def collect_pages(root: str) -> List[str]:
+    """README.md plus every markdown page under docs/, repo-relative."""
+    pages = []
+    if os.path.isfile(os.path.join(root, "README.md")):
+        pages.append("README.md")
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                pages.append(os.path.join("docs", name))
+    return pages
+
+
+def check_page(
+    root: str, page: str, anchors_by_page: Dict[str, Set[str]]
+) -> Tuple[List[str], Set[str]]:
+    """Problems of one page plus the markdown pages it links to."""
+    problems: List[str] = []
+    linked: Set[str] = set()
+    text = open(os.path.join(root, page), encoding="utf-8").read()
+    rendered = strip_fences(text)
+    page_dir = os.path.dirname(page)
+
+    for target in LINK_RE.findall(rendered):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, anchor = target.partition("#")
+        if not path:  # same-page anchor
+            if anchor not in anchors_by_page[page]:
+                problems.append(f"{page}: broken same-page anchor #{anchor}")
+            continue
+        resolved = os.path.normpath(os.path.join(page_dir, path))
+        if not os.path.exists(os.path.join(root, resolved)):
+            problems.append(f"{page}: broken link {target} (no such file {resolved})")
+            continue
+        if resolved.endswith(".md"):
+            linked.add(resolved)
+            if anchor:
+                known = anchors_by_page.get(resolved)
+                if known is not None and anchor not in known:
+                    problems.append(
+                        f"{page}: broken anchor {target} (no heading #{anchor} in {resolved})"
+                    )
+
+    for span in CODE_SPAN_RE.findall(text):
+        span = span.strip()
+        match = FILE_LINE_RE.match(span)
+        if match:
+            path, line_no = match.group(1), int(match.group(2))
+            full = os.path.join(root, os.path.normpath(path))
+            if not os.path.isfile(full):
+                problems.append(f"{page}: file:line anchor `{span}` (no such file {path})")
+            else:
+                lines = open(full, encoding="utf-8", errors="replace").read().count("\n") + 1
+                if line_no > lines:
+                    problems.append(
+                        f"{page}: file:line anchor `{span}` ({path} has only {lines} lines)"
+                    )
+            continue
+        if FILE_RE.match(span) and not os.path.exists(os.path.join(root, os.path.normpath(span))):
+            problems.append(f"{page}: code-span path `{span}` does not exist")
+
+    return problems, linked
+
+
+def check_docs(root: str) -> List[str]:
+    """Every documentation problem found under ``root`` (empty = healthy)."""
+    pages = collect_pages(root)
+    if not pages:
+        return [f"no README.md or docs/ pages found under {root}"]
+    anchors_by_page = {
+        page: page_anchors(open(os.path.join(root, page), encoding="utf-8").read())
+        for page in pages
+    }
+    problems: List[str] = []
+    links: Dict[str, Set[str]] = {}
+    for page in pages:
+        page_problems, linked = check_page(root, page, anchors_by_page)
+        problems.extend(page_problems)
+        links[page] = linked
+
+    # Orphan detection: every docs page must be reachable from README.md.
+    reachable: Set[str] = set()
+    frontier = ["README.md"] if "README.md" in links else []
+    while frontier:
+        page = frontier.pop()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        frontier.extend(p for p in links.get(page, ()) if p in links)
+    for page in pages:
+        if page.startswith("docs/") and page not in reachable:
+            problems.append(f"{page}: orphaned (not reachable from README.md via links)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".", help="repository root to check (default: current directory)"
+    )
+    args = parser.parse_args(argv)
+    problems = check_docs(args.root)
+    for problem in problems:
+        print(f"FAIL  {problem}", file=sys.stderr)
+    pages = collect_pages(args.root)
+    print(f"checked {len(pages)} page(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
