@@ -14,7 +14,8 @@ needs, in one import:
   (:class:`~repro.api.results.DeployResult`,
   :class:`~repro.api.results.CheckpointResult`,
   :class:`~repro.api.results.RestartResult`,
-  :class:`~repro.api.results.RunReport`).
+  :class:`~repro.api.results.RunReport`,
+  :class:`~repro.api.results.TraceReport`).
 
 Quick start::
 
@@ -27,7 +28,13 @@ Quick start::
     print(session.run_scenario("fig2").to_table())
 """
 
-from repro.api.results import CheckpointResult, DeployResult, RestartResult, RunReport
+from repro.api.results import (
+    CheckpointResult,
+    DeployResult,
+    RestartResult,
+    RunReport,
+    TraceReport,
+)
 from repro.api.session import Overrides, Session
 from repro.core.backends import (
     BackendCapabilities,
@@ -53,6 +60,7 @@ __all__ = [
     "RestartResult",
     "RunReport",
     "Session",
+    "TraceReport",
     "backend_names",
     "create_backend",
     "get_backend",

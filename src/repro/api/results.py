@@ -95,3 +95,32 @@ class RunReport:
     def to_table(self) -> str:
         """Render the rows exactly as ``blobcr-repro`` prints them."""
         return self.result().to_table()
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Outcome of ``session.trace(name, ...)``: one deterministic trace.
+
+    ``artifact`` is the full ``blobcr-repro/trace-artifact`` v1 document
+    (validated; byte-identical across runs of the same cells once
+    serialised), ``rollups`` the per-span-name sim-time totals merged over
+    all traced cells.
+    """
+
+    #: the validated trace-artifact document
+    artifact: Dict[str, Any] = field(repr=False)
+    #: merged span rollups: name -> {count, total_sim_s, max_sim_s}
+    rollups: Dict[str, Dict[str, Any]]
+    #: traced cell keys, in canonical enumeration order
+    cell_keys: Tuple[str, ...]
+
+    @property
+    def cells(self) -> List[Dict[str, Any]]:
+        """The per-cell records (key, experiment, sim_time_s, trace, rollups)."""
+        return self.artifact["cells"]
+
+    def chrome(self) -> Dict[str, Any]:
+        """The trace as Chrome trace-event JSON (Perfetto-loadable)."""
+        from repro.obs import chrome_trace
+
+        return chrome_trace(self.cells)

@@ -28,7 +28,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, List, Mapping, Optional, Union
 
-from repro.api.results import CheckpointResult, DeployResult, RestartResult, RunReport
+from repro.api.results import (
+    CheckpointResult,
+    DeployResult,
+    RestartResult,
+    RunReport,
+    TraceReport,
+)
 from repro.cluster.cloud import Cloud
 from repro.core.backends import BackendInfo, backend_names, create_backend, get_backend
 from repro.core.strategy import DeployedInstance, Deployment
@@ -319,6 +325,75 @@ class Session:
             sim_time_s=report.total_sim_time_s,
             workers=workers,
             paper_scale=paper_scale,
+        )
+
+    def trace(
+        self,
+        name: str,
+        overrides: Overrides = (),
+        cells: Iterable[str] = (),
+        paper_scale: bool = False,
+        seed: Optional[int] = None,
+    ) -> TraceReport:
+        """Trace one registered scenario through the sim-time tracer.
+
+        The programmatic twin of ``blobcr-repro trace``: runs the selected
+        cells in-process (the tracer is process-global, so there is no
+        ``workers`` knob) with the tracer enabled around each, and returns a
+        :class:`~repro.api.results.TraceReport` wrapping the validated
+        ``blobcr-repro/trace-artifact`` document.  Tracing never changes
+        results: the rows the cells produce are byte-identical to an
+        untraced run, and the artifact is byte-identical across repeated
+        calls with the same arguments (``docs/observability.md`` spells out
+        the determinism contract).
+        """
+        from repro.obs import TRACER, merge_rollups, span_rollups
+        from repro.runner import build_trace_artifact, execute_cell, validate_trace_artifact
+
+        names = load_all()
+        if name not in names:
+            raise ConfigurationError(f"unknown scenario {name!r} (known: {', '.join(names)})")
+        raw = _normalise_overrides(overrides)
+        spec = resolve_cluster_spec(raw, names, [name], base_spec=self._spec, seed=seed)
+        selectors = parse_selectors(list(cells))
+        foreign = sorted({s.text for s in selectors if s.experiment != name})
+        if foreign:
+            raise ConfigurationError(
+                f"cell selector(s) outside scenario {name!r}: {', '.join(foreign)}"
+            )
+        config = RunConfig(paper_scale=paper_scale, spec=spec, overrides=tuple(raw), seed=seed)
+        runner = ParallelRunner(workers=1)
+        cell_records: List[dict] = []
+        for cell in runner.enumerate([name], config, selectors):
+            TRACER.reset()
+            TRACER.enable()
+            try:
+                result = execute_cell(cell)
+            finally:
+                TRACER.disable()
+            trace = TRACER.collect()
+            cell_records.append(
+                {
+                    "key": result.key,
+                    "experiment": result.experiment,
+                    "sim_time_s": result.sim_time_s,
+                    "trace": trace,
+                    "rollups": span_rollups(trace),
+                }
+            )
+        document = validate_trace_artifact(
+            build_trace_artifact(
+                experiments=[name],
+                cells=cell_records,
+                paper_scale=paper_scale,
+                overrides=raw,
+                seed=seed,
+            )
+        )
+        return TraceReport(
+            artifact=document,
+            rollups=merge_rollups([record["rollups"] for record in cell_records]),
+            cell_keys=tuple(record["key"] for record in cell_records),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Iterable, List, NamedTuple, Optional
 
 import numpy as np
 
+from repro.obs.tracer import TRACER
 from repro.util.bytesource import ByteSource
 from repro.util.errors import ChunkNotFoundError, StorageError
 
@@ -281,6 +282,9 @@ class ProviderManager:
         decision = placement or self.place(chunk.key, chunk.footprint)
         for provider_id in decision.providers:
             self.get(provider_id).store(chunk)
+        if TRACER.enabled:
+            TRACER.observe("chunk.stored_bytes", chunk.footprint)
+            TRACER.observe("chunk.replicas", len(decision.providers))
         return decision
 
     def fetch_any(self, key: ChunkKey, preferred: Iterable[str] = ()) -> Chunk:

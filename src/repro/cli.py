@@ -24,9 +24,17 @@ registry-driven parallel runner and prints the resulting tables.
 the selected cells in-process under cProfile while collecting the
 deterministic simulator work counters (events popped, bandwidth
 recomputations, flows settled, component sizes -- see
-:mod:`repro.sim.instrumentation`), prints both, and with
-``--profile-artifact`` writes the schema-versioned profile artifact next to
-the bench artifact.  ``docs/performance.md`` explains how to read it.
+:mod:`repro.sim.instrumentation`) and the sim-time span rollups of
+:mod:`repro.obs`, prints all three, and with ``--profile-artifact`` writes
+the schema-versioned profile artifact next to the bench artifact.
+``docs/performance.md`` explains how to read it.
+
+``blobcr-repro trace [cells...]`` records the selected cells through the
+sim-time tracer and writes (a) the byte-deterministic
+``blobcr-repro/trace-artifact`` document and (b) a Chrome trace-event JSON
+loadable in Perfetto / ``chrome://tracing``.  Cell selectors may be passed
+positionally (``blobcr-repro trace fig2:BlobCR-app:24``); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -40,15 +48,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.backends import backend_names, get_backend
 from repro.runner import (
     ParallelRunner,
+    ProgressMeter,
     RunConfig,
     build_artifact,
     build_profile_artifact,
+    build_trace_artifact,
     load_all,
     parse_selectors,
     write_artifact,
     write_profile_artifact,
+    write_trace_artifact,
 )
-from repro.runner.cells import CellResult
 from repro.runner.select import CellSelector
 from repro.scenarios.overrides import resolve_cluster_spec
 from repro.util.errors import ConfigurationError
@@ -107,10 +117,12 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="blobcr-repro",
         description="Reproduce the evaluation of BlobCR (SC'11).",
-        epilog="subcommand: `blobcr-repro profile [experiments...]` (must be "
-        "the first argument) runs cells under cProfile with deterministic "
-        "simulator work counters; see `blobcr-repro profile --help` and "
-        "docs/performance.md.",
+        epilog="subcommands (must be the first argument): `blobcr-repro "
+        "profile [experiments...]` runs cells under cProfile with "
+        "deterministic simulator work counters (docs/performance.md); "
+        "`blobcr-repro trace [cells...]` records cells through the sim-time "
+        "tracer and emits Perfetto-loadable Chrome trace JSON "
+        "(docs/observability.md).",
     )
     _add_selection_arguments(parser, names, verb="run")
     parser.add_argument(
@@ -144,15 +156,6 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
         help="write the structured perf artifact (JSON) to PATH ('-' for stdout)",
     )
     return parser
-
-
-def _progress(done: int, total: int, result: CellResult) -> None:
-    print(
-        f"[{done}/{total}] {result.key}  "
-        f"wall={result.wall_time_s:.2f}s sim={result.sim_time_s:.2f}s",
-        file=sys.stderr,
-        flush=True,
-    )
 
 
 def _resolve_run_inputs(
@@ -212,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "profile":
         return profile_main(raw_argv[1:], raw_argv)
+    if raw_argv and raw_argv[0] == "trace":
+        return trace_main(raw_argv[1:], raw_argv)
     names = load_all()
     parser = _build_parser(names)
     args = parser.parse_args(raw_argv)
@@ -230,7 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments, selectors, config = _resolve_run_inputs(parser, args, names)
     runner = ParallelRunner(
         workers=args.workers,
-        progress=None if args.no_progress else _progress,
+        progress=None if args.no_progress else ProgressMeter(workers=args.workers),
     )
 
     if args.list_cells:
@@ -336,11 +341,13 @@ def profile_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
 
     Cells always run in-process (the counters are process-global and
     cProfile cannot look into worker processes), sequentially and in
-    canonical order; the counter block is reset around every cell so the
-    artifact carries exact per-cell work counts.
+    canonical order; the counter block and the tracer are reset around every
+    cell so the artifact carries exact per-cell work counts and sim-time
+    span rollups.
     """
     import cProfile
 
+    from repro.obs import TRACER, format_rollups, merge_rollups, span_rollups
     from repro.runner.cells import execute_cell
     from repro.sim.instrumentation import counters_reset, counters_snapshot
 
@@ -355,13 +362,19 @@ def profile_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
         parser.error(str(exc))
 
     profiler = cProfile.Profile()
+    progress = ProgressMeter() if not args.no_progress else None
     cell_records: List[Dict[str, Any]] = []
     t0 = time.perf_counter()
     for index, cell in enumerate(cells):
         counters_reset()
+        TRACER.reset()
+        TRACER.enable()
         profiler.enable()
-        result = execute_cell(cell)
-        profiler.disable()
+        try:
+            result = execute_cell(cell)
+        finally:
+            profiler.disable()
+            TRACER.disable()
         cell_records.append(
             {
                 "key": result.key,
@@ -369,10 +382,11 @@ def profile_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
                 "wall_time_s": result.wall_time_s,
                 "sim_time_s": result.sim_time_s,
                 "counters": counters_snapshot().as_dict(),
+                "spans": span_rollups(TRACER.collect()),
             }
         )
-        if not args.no_progress:
-            _progress(index + 1, len(cells), result)
+        if progress is not None:
+            progress(index + 1, len(cells), result)
     wall = time.perf_counter() - t0
 
     hotspots = _top_hotspots(profiler, args.top)
@@ -386,6 +400,8 @@ def profile_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         argv=raw_argv if raw_argv is not None else ["profile"] + list(argv),
     )
+    rollups = merge_rollups([record["spans"] for record in cell_records])
+    document["span_rollups"] = rollups
 
     # Write the artifact before printing: a truncated stdout (head, a full
     # disk behind a redirect) must not cost CI the recorded document.
@@ -402,12 +418,128 @@ def profile_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
     for name, value in aggregate.items():
         print(f"  {name:<26} {value:>14,}")
     print()
+    print("sim-time span rollups (deterministic):")
+    print(format_rollups(rollups))
+    print()
     print(f"top {len(hotspots)} functions by self time:")
     for entry in hotspots:
         print(
             f"  {entry['tottime_s']:9.3f}s self {entry['cumtime_s']:9.3f}s cum "
             f"{entry['ncalls']:>10} calls  {entry['function']}"
         )
+    return 0
+
+
+# -- the tracing harness (`blobcr-repro trace`) ---------------------------------
+
+
+def _build_trace_parser(names: List[str]) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blobcr-repro trace",
+        description="Record experiment cells through the deterministic sim-time "
+        "tracer; writes the trace artifact plus a Chrome trace-event JSON "
+        "(load it in Perfetto / chrome://tracing).",
+        epilog="cell selectors may be passed positionally: "
+        "`blobcr-repro trace fig2:BlobCR-app:24`",
+    )
+    _add_selection_arguments(parser, names, verb="trace")
+    parser.add_argument(
+        "--trace-artifact",
+        metavar="PATH",
+        default="trace-artifact.json",
+        help="write the schema-versioned trace artifact (JSON) to PATH "
+        "('-' for stdout, default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default="trace.chrome.json",
+        help="write the Chrome trace-event JSON to PATH "
+        "('-' for stdout, default: %(default)s)",
+    )
+    return parser
+
+
+def trace_main(argv: List[str], raw_argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``blobcr-repro trace``.
+
+    Cells run in-process (the tracer is process-global), sequentially and in
+    canonical order, with the tracer reset around every cell.  All recorded
+    data is sim-time, so the artifact is byte-identical across runs of the
+    same cells (the bench/profile artifacts are not: they carry wall times).
+    """
+    from repro.obs import TRACER, chrome_trace, format_rollups, merge_rollups, span_rollups
+    from repro.runner.cells import execute_cell
+
+    names = load_all()
+    parser = _build_trace_parser(names)
+    args = parser.parse_args(argv)
+    # `blobcr-repro trace fig2:BlobCR-app:24`: positionals with a ":" are
+    # cell selectors, not experiment names.
+    args.cells.extend(e for e in args.experiments if ":" in e)
+    args.experiments = [e for e in args.experiments if ":" not in e]
+    experiments, selectors, config = _resolve_run_inputs(parser, args, names)
+    runner = ParallelRunner(workers=1)
+    try:
+        cells = runner.enumerate(experiments, config, selectors)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    progress = ProgressMeter() if not args.no_progress else None
+    cell_records: List[Dict[str, Any]] = []
+    for index, cell in enumerate(cells):
+        TRACER.reset()
+        TRACER.enable()
+        try:
+            result = execute_cell(cell)
+        finally:
+            TRACER.disable()
+        trace = TRACER.collect()
+        cell_records.append(
+            {
+                "key": result.key,
+                "experiment": result.experiment,
+                "sim_time_s": result.sim_time_s,
+                "trace": trace,
+                "rollups": span_rollups(trace),
+            }
+        )
+        if progress is not None:
+            progress(index + 1, len(cells), result)
+
+    document = build_trace_artifact(
+        experiments=experiments,
+        cells=cell_records,
+        paper_scale=args.paper_scale,
+        overrides=list(args.override),
+        seed=args.seed,
+        argv=raw_argv if raw_argv is not None else ["trace"] + list(argv),
+    )
+    try:
+        write_trace_artifact(args.trace_artifact, document)
+    except OSError as exc:
+        parser.error(f"cannot write trace artifact to {args.trace_artifact}: {exc}")
+    chrome = chrome_trace(cell_records)
+    try:
+        payload = json.dumps(chrome, indent=None, separators=(",", ":"))
+        if args.chrome == "-":
+            print(payload)
+        else:
+            with open(args.chrome, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    except OSError as exc:
+        parser.error(f"cannot write Chrome trace to {args.chrome}: {exc}")
+
+    spans = sum(len(record["trace"]["spans"]) for record in cell_records)
+    events = len(chrome["traceEvents"])
+    print(f"traced {len(cell_records)} cell(s): {spans} span(s), {events} Chrome event(s)")
+    if args.trace_artifact != "-":
+        print(f"trace artifact: {args.trace_artifact}")
+    if args.chrome != "-":
+        print(f"chrome trace:   {args.chrome}  (open in https://ui.perfetto.dev)")
+    print()
+    print("sim-time span rollups:")
+    print(format_rollups(merge_rollups([record["rollups"] for record in cell_records])))
     return 0
 
 

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 from repro.cluster.network import Network
 from repro.cluster.node import ComputeNode
 from repro.guest.process import reset_pids
+from repro.obs.tracer import TRACER
 from repro.sim.core import Environment, Event
 from repro.util.config import ClusterSpec, GRAPHENE
 from repro.util.errors import SimulationError
@@ -30,6 +31,13 @@ class Cloud:
         # checkpoint content, so a host-global counter would make results
         # depend on what else ran in the same interpreter (see reset_pids).
         reset_pids()
+        if TRACER.enabled:
+            # One trace group ("process" in the Chrome export) per simulated
+            # cloud: a cell typically builds one cloud per approach under
+            # test, and their sim clocks all start at zero.
+            TRACER.begin_group(
+                f"cloud[{self.spec.compute_nodes}+{self.spec.service_nodes} nodes]"
+            )
         self.env = Environment()
         self.network = Network(self.env, self.spec.network)
         self.compute_nodes: List[ComputeNode] = [

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.cluster.cloud import Cloud
+from repro.obs.tracer import TRACER
 from repro.util.errors import SimulationError
 from repro.util.rng import make_rng
 
@@ -89,6 +90,8 @@ class FailureInjector:
         node.fail()
         event = FailureEvent(time=self.cloud.now, node=node_name)
         self.history.append(event)
+        if TRACER.enabled:
+            TRACER.instant("failure", node_name, self.cloud.now, cat="failure")
         for listener in self._listeners:
             listener(event)
 

@@ -31,6 +31,7 @@ from repro.core.repository import CheckpointRepository
 from repro.core.strategy import CheckpointRecord, DeployedInstance, Deployment
 from repro.guest.osnoise import write_boot_noise
 from repro.guest.vm import VMInstance
+from repro.obs.tracer import TRACER
 from repro.util.errors import CheckpointError, RestartError
 from repro.vdisk.raw import RawImage
 
@@ -204,12 +205,20 @@ class BlobCRDeployment(Deployment):
             data = instance.vm.filesystem.read_file(path)
             restored += data.size
         if restored:
+            span = None
+            if TRACER.enabled:
+                span = TRACER.begin(
+                    "fault-in", instance.instance_id, self.cloud.now,
+                    args={"bytes": restored, "node": target_node},
+                )
             yield from self.repository.fetch_hot_content(
                 target_node, restored, label=f"restore:{instance.instance_id}"
             )
             yield self.cloud.node(target_node).disk.write(
                 restored, label=f"restore-cache:{instance.instance_id}"
             )
+            if span is not None:
+                TRACER.end(span, self.cloud.now)
         return restored
 
     def storage_used_bytes(self) -> int:

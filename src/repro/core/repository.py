@@ -19,6 +19,7 @@ from repro.blobseer import BlobClient, DataProvider, ProviderManager
 from repro.cluster.cloud import Cloud
 from repro.dedup.codec import HEADER_BYTES
 from repro.dedup.engine import build_engine
+from repro.obs.tracer import TRACER
 from repro.util.bytesource import ByteSource
 from repro.util.config import BlobSeerSpec
 from repro.vdisk.raw import RawImage
@@ -117,21 +118,40 @@ class CheckpointRepository:
                 pieces.append((index * image.block_size, payload))
         result = self.client.write_batch(blob_id, pieces, tag=tag) if pieces else None
         nbytes = result.bytes_written if result else 0
+        env = self.cloud.env
+        span = None
+        if TRACER.enabled:
+            span = TRACER.begin(
+                "upload-base", client_node, env.now,
+                args={"blob_id": blob_id, "bytes": nbytes},
+            )
         yield self.cloud.network.message(
             client_node, self.version_manager_node, label="create-blob"
         )
         if result and result.compression_cpu_seconds:
-            yield self.cloud.env.timeout(result.compression_cpu_seconds)
+            yield env.timeout(result.compression_cpu_seconds)
         if nbytes:
+            inner = None
+            if TRACER.enabled:
+                inner = TRACER.begin("blob-write", client_node, env.now, args={"bytes": nbytes})
             yield self._data_write(client_node, nbytes, label=f"upload:{tag}")
+            if inner is not None:
+                TRACER.end(inner, env.now)
         if result:
             # Dedup-hit stripes still publish a descriptor + alias record, so
             # they count toward the metadata RPCs even though no data shipped.
-            yield self.cloud.env.timeout(
+            inner = None
+            if TRACER.enabled:
+                inner = TRACER.begin("metadata-commit", client_node, env.now)
+            yield env.timeout(
                 self._metadata_time(len(result.chunks) + result.dedup_hits, result.metadata_nodes)
             )
+            if inner is not None:
+                TRACER.end(inner, env.now)
             self.logical_bytes_committed += result.logical_bytes
         self.bytes_committed += nbytes
+        if span is not None:
+            TRACER.end(span, env.now)
         return blob_id
 
     def clone_image(
@@ -163,19 +183,42 @@ class CheckpointRepository:
             pass
         pieces = [(index * block_size, payload) for index, payload in sorted(blocks.items())]
         result = self.client.write_batch(blob_id, pieces, tag=tag or "commit")
+        env = self.cloud.env
+        span = None
+        if TRACER.enabled:
+            span = TRACER.begin(
+                "commit", client_node, env.now,
+                args={"blob_id": blob_id, "version": result.version},
+            )
         yield self.cloud.network.message(client_node, self.version_manager_node, label="commit")
         if result.compression_cpu_seconds:
             # Fingerprinting + compression runs on the committing node's CPU.
-            yield self.cloud.env.timeout(result.compression_cpu_seconds)
+            yield env.timeout(result.compression_cpu_seconds)
         if result.bytes_written:
+            inner = None
+            if TRACER.enabled:
+                inner = TRACER.begin(
+                    "blob-write", client_node, env.now, args={"bytes": result.bytes_written}
+                )
             yield self._data_write(
                 client_node, result.bytes_written, label=f"commit:{blob_id}@{result.version}"
             )
-        yield self.cloud.env.timeout(self._metadata_time(
+            if inner is not None:
+                TRACER.end(inner, env.now)
+        inner = None
+        if TRACER.enabled:
+            inner = TRACER.begin(
+                "metadata-commit", client_node, env.now, args={"chunks": len(result.chunks)}
+            )
+        yield env.timeout(self._metadata_time(
             len(result.chunks) + result.dedup_hits, result.metadata_nodes))
+        if inner is not None:
+            TRACER.end(inner, env.now)
         self.bytes_committed += result.bytes_written
         self.logical_bytes_committed += result.logical_bytes
         self.commit_count += 1
+        if span is not None:
+            TRACER.end(span, env.now, args={"bytes": result.bytes_written})
         return result
 
     def read_range(
@@ -189,6 +232,12 @@ class CheckpointRepository:
     ) -> Generator:
         """Simulation process: read a byte range of a snapshot on ``client_node``."""
         data = self.client.read(blob_id, offset, size, version=version)
+        span = None
+        if TRACER.enabled:
+            span = TRACER.begin(
+                "blob-read", client_node, self.cloud.env.now,
+                args={"blob_id": blob_id, "bytes": size},
+            )
         yield self.cloud.network.message(client_node, self.version_manager_node, label="read")
         if size > 0:
             if self.dedup is None:
@@ -204,6 +253,8 @@ class CheckpointRepository:
                 if cpu > 0:
                     yield self.cloud.env.timeout(cpu)
         self.bytes_served += size
+        if span is not None:
+            TRACER.end(span, self.cloud.env.now)
         return data
 
     def _read_window_cost(
@@ -237,8 +288,15 @@ class CheckpointRepository:
         are served functionally by a :class:`RemoteBlobDevice`.
         """
         if nbytes > 0:
+            span = None
+            if TRACER.enabled:
+                span = TRACER.begin(
+                    "hot-fetch", client_node, self.cloud.env.now, args={"bytes": int(nbytes)}
+                )
             yield self._data_read(client_node, nbytes, label=label or "lazy-fetch")
             self.bytes_served += int(nbytes)
+            if span is not None:
+                TRACER.end(span, self.cloud.env.now)
         else:  # pragma: no cover - degenerate
             yield self.cloud.env.timeout(0)
 

@@ -1,0 +1,244 @@
+"""The process-global sim-time tracer.
+
+The simulator already *is* a perfect profiler: every duration it produces is
+a deterministic function of the model, so a trace of "what happened when on
+the simulated clock" is exact, machine-independent evidence -- not a noisy
+sample.  This module records that evidence:
+
+* **spans** -- named intervals on the simulated clock (a per-instance
+  checkpoint, the COMMIT's blob write, a restart's fault-in), grouped into
+  *tracks* (one per VM instance / node / subsystem) inside *groups* (one per
+  simulated cloud);
+* **instant events** -- point occurrences such as failure injections;
+* **gauges** -- time series sampled at model events (channel utilisation,
+  resource queue depth, horizon-heap size);
+* **histograms** -- distributions without a time axis (per-flow bytes,
+  completion latencies), summarised with *exact* nearest-rank quantiles over
+  every recorded value.
+
+Design rules:
+
+* **Zero overhead when off.**  The tracer is disabled by default and every
+  instrumentation point in the simulator guards itself with a single
+  ``if TRACER.enabled:`` attribute test; nothing is allocated, formatted or
+  stored on the hot path of an untraced run.
+* **Write-only.**  Nothing in the simulation ever reads the tracer, so
+  enabling it cannot change any result -- experiment rows are byte-identical
+  with tracing on and off.
+* **Deterministic.**  All timestamps are simulated seconds and every
+  recording site iterates in deterministic (creation/index) order, so two
+  runs of the same cell produce byte-identical traces.  That is what makes a
+  trace diffable regression evidence rather than just a picture; the
+  determinism contract is spelled out in ``docs/observability.md``.
+
+The module is stdlib-only and imports nothing from the simulator, so every
+layer (``sim``, ``blobseer``, ``core``, ``cluster``) can instrument itself
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: quantiles reported for every histogram (exact nearest-rank, not estimates)
+HISTOGRAM_QUANTILES = (0.50, 0.90, 0.99, 0.999)
+
+# indices into the mutable span record (a list, so `end` can patch in place)
+_NAME, _CAT, _TRACK, _GROUP, _T0, _T1, _ARGS = range(7)
+
+
+def exact_quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted non-empty list.
+
+    ``q`` in (0, 1]; the result is always one of the recorded values (no
+    interpolation), which keeps histogram summaries exact and deterministic.
+    """
+    if not sorted_values:
+        raise ValueError("cannot take a quantile of no values")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class Tracer:
+    """Recorder of sim-time spans, instants, gauges and histograms.
+
+    One process-global instance (:data:`TRACER`) exists; the trace
+    subcommand, ``Session.trace`` and the profile harness reset and enable
+    it around each cell.  ``begin``/``end`` return/consume integer span
+    handles so open spans survive generator suspension (a ``with`` block is
+    unnecessary and explicit handles keep the hot path allocation-free).
+    """
+
+    __slots__ = ("enabled", "_spans", "_instants", "_series", "_hists", "_groups", "_group")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._clear()
+
+    def _clear(self) -> None:
+        self._spans: List[list] = []
+        self._instants: List[tuple] = []
+        #: (group, track, name) -> [(t, value), ...], insertion-ordered
+        self._series: Dict[Tuple[int, str, str], List[Tuple[float, float]]] = {}
+        #: name -> recorded values, insertion-ordered
+        self._hists: Dict[str, List[float]] = {}
+        #: group labels; group id 0 is the implicit root group
+        self._groups: List[str] = ["run"]
+        self._group = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded data (the per-cell hook); keeps the enabled flag."""
+        self._clear()
+
+    def begin_group(self, label: str) -> int:
+        """Open a new group (one per simulated cloud); returns its id.
+
+        Subsequent spans/instants/gauges attach to the new group, which the
+        Chrome export renders as a separate "process".
+        """
+        self._groups.append(label)
+        self._group = len(self._groups) - 1
+        return self._group
+
+    # -- recording -----------------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        track: str,
+        t: float,
+        cat: str = "phase",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Open a span at simulated time ``t``; returns its handle."""
+        self._spans.append([name, cat, track, self._group, t, None, args])
+        return len(self._spans) - 1
+
+    def end(self, handle: int, t: float, args: Optional[Dict[str, Any]] = None) -> None:
+        """Close the span behind ``handle`` at simulated time ``t``."""
+        span = self._spans[handle]
+        span[_T1] = t
+        if args:
+            merged = dict(span[_ARGS]) if span[_ARGS] else {}
+            merged.update(args)
+            span[_ARGS] = merged
+
+    def instant(
+        self,
+        name: str,
+        track: str,
+        t: float,
+        cat: str = "instant",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point event (e.g. a failure injection) at time ``t``."""
+        self._instants.append((name, cat, track, self._group, t, args))
+
+    def gauge(self, name: str, track: str, t: float, value: float) -> None:
+        """Append one sample to the ``(track, name)`` time series."""
+        self._series.setdefault((self._group, track, name), []).append((t, value))
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one value into the named histogram (no time axis)."""
+        self._hists.setdefault(name, []).append(value)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        return len(self._spans)
+
+    def collect(self) -> Dict[str, Any]:
+        """The recorded trace as one JSON-serialisable document fragment.
+
+        Span/instant/gauge order is recording order and histogram values are
+        summarised with exact quantiles; the result is byte-stable across
+        runs of the same deterministic simulation.  Spans still open (a
+        process alive when the simulation ran out of events) carry
+        ``t1_s: null``.
+        """
+        spans = []
+        for record in self._spans:
+            span: Dict[str, Any] = {
+                "name": record[_NAME],
+                "cat": record[_CAT],
+                "track": record[_TRACK],
+                "group": record[_GROUP],
+                "t0_s": record[_T0],
+                "t1_s": record[_T1],
+            }
+            if record[_ARGS]:
+                span["args"] = record[_ARGS]
+            spans.append(span)
+        instants = []
+        for name, cat, track, group, t, args in self._instants:
+            event: Dict[str, Any] = {
+                "name": name,
+                "cat": cat,
+                "track": track,
+                "group": group,
+                "t_s": t,
+            }
+            if args:
+                event["args"] = args
+            instants.append(event)
+        counters = [
+            {
+                "name": name,
+                "track": track,
+                "group": group,
+                "points": [[t, value] for t, value in points],
+            }
+            for (group, track, name), points in self._series.items()
+        ]
+        histograms = {}
+        for name, values in self._hists.items():
+            ordered = sorted(values)
+            summary: Dict[str, Any] = {
+                "count": len(ordered),
+                "sum": math.fsum(ordered),
+                "min": ordered[0],
+                "max": ordered[-1],
+            }
+            for q in HISTOGRAM_QUANTILES:
+                # 0.5 -> "p50", 0.9 -> "p90", 0.99 -> "p99", 0.999 -> "p999"
+                summary[f"p{str(q)[2:].ljust(2, '0')}"] = exact_quantile(ordered, q)
+            histograms[name] = summary
+        return {
+            "groups": list(self._groups),
+            "spans": spans,
+            "instants": instants,
+            "counters": counters,
+            "histograms": histograms,
+        }
+
+
+#: the process-global tracer (disabled by default; see the module docstring)
+TRACER = Tracer()
+
+
+@contextmanager
+def tracing(reset: bool = True) -> Iterator[Tracer]:
+    """Enable :data:`TRACER` for the duration of a ``with`` block.
+
+    ``reset=True`` (the default) starts from an empty trace; the tracer is
+    disabled again on exit, but the recorded data stays available for
+    :meth:`Tracer.collect` until the next reset.
+    """
+    if reset:
+        TRACER.reset()
+    TRACER.enable()
+    try:
+        yield TRACER
+    finally:
+        TRACER.disable()

@@ -21,18 +21,24 @@ from repro.runner.artifact import (
     PROFILE_SCHEMA_VERSION,
     SCHEMA,
     SCHEMA_VERSION,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
     ArtifactError,
     build_artifact,
     build_profile_artifact,
+    build_trace_artifact,
     load_artifact,
     load_profile_artifact,
+    load_trace_artifact,
     validate_artifact,
     validate_profile_artifact,
+    validate_trace_artifact,
     write_artifact,
     write_profile_artifact,
+    write_trace_artifact,
 )
 from repro.runner.cells import Cell, CellResult, execute_cell, run_cells_inline
-from repro.runner.parallel import ParallelRunner, RunReport
+from repro.runner.parallel import ParallelRunner, ProgressMeter, RunReport
 from repro.runner.registry import (
     ExperimentSpec,
     RunConfig,
@@ -54,10 +60,14 @@ __all__ = [
     "CellSelector",
     "ExperimentSpec",
     "ParallelRunner",
+    "ProgressMeter",
     "RunConfig",
     "RunReport",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
     "build_artifact",
     "build_profile_artifact",
+    "build_trace_artifact",
     "execute_cell",
     "experiment_names",
     "filter_cells",
@@ -65,11 +75,14 @@ __all__ = [
     "load_all",
     "load_artifact",
     "load_profile_artifact",
+    "load_trace_artifact",
     "parse_selectors",
     "register",
     "run_cells_inline",
     "validate_artifact",
     "validate_profile_artifact",
+    "validate_trace_artifact",
     "write_artifact",
     "write_profile_artifact",
+    "write_trace_artifact",
 ]

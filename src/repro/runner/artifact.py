@@ -35,6 +35,9 @@ SCHEMA_VERSION = 1
 PROFILE_SCHEMA = "blobcr-repro/profile-artifact"
 PROFILE_SCHEMA_VERSION = 1
 
+TRACE_SCHEMA = "blobcr-repro/trace-artifact"
+TRACE_SCHEMA_VERSION = 1
+
 
 class ArtifactError(ConfigurationError):
     """An artifact document is missing, malformed or incompatible."""
@@ -252,6 +255,91 @@ def validate_profile_artifact(document: Any) -> Dict[str, Any]:
     return document
 
 
+def build_trace_artifact(
+    experiments: List[str],
+    cells: List[Dict[str, Any]],
+    paper_scale: bool = False,
+    overrides: Optional[List[str]] = None,
+    seed: Optional[int] = None,
+    argv: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Build the JSON-serialisable trace-artifact document.
+
+    ``cells`` carry per-cell trace fragments (``{"key", "experiment",
+    "sim_time_s", "trace": Tracer.collect(), "rollups": {...}}``).
+
+    Unlike the bench and profile artifacts, this document is **byte-identical
+    across runs of the same cells**: every recorded value is sim-time, so no
+    wall-clock times, no calibration spin and no host platform details are
+    included (they would break the diffability that makes traces regression
+    evidence).  Only the run identity (experiments, overrides, seed, argv)
+    and the Python version are recorded.
+    """
+    return {
+        "schema": TRACE_SCHEMA,
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "run": {
+            "experiments": list(experiments),
+            "paper_scale": paper_scale,
+            "cells": len(cells),
+            "argv": list(argv) if argv is not None else None,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "overrides": list(overrides or []),
+            "seed": seed,
+        },
+        "cells": cells,
+    }
+
+
+def validate_trace_artifact(document: Any) -> Dict[str, Any]:
+    """Check a trace-artifact document against the schema."""
+    if not isinstance(document, dict):
+        raise ArtifactError(f"artifact must be a JSON object, got {type(document).__name__}")
+    if document.get("schema") != TRACE_SCHEMA:
+        raise ArtifactError(
+            f"not a {TRACE_SCHEMA} document: schema={document.get('schema')!r}"
+        )
+    version = document.get("schema_version")
+    if not isinstance(version, int) or version > TRACE_SCHEMA_VERSION or version < 1:
+        raise ArtifactError(
+            f"unsupported schema_version {version!r} "
+            f"(this reader handles <= {TRACE_SCHEMA_VERSION})"
+        )
+    for section, kind in (("run", dict), ("environment", dict), ("cells", list)):
+        if section not in document:
+            raise ArtifactError(f"artifact is missing the {section!r} section")
+        if not isinstance(document[section], kind):
+            raise ArtifactError(f"artifact {section!r} must be a {kind.__name__}")
+    for cell in document["cells"]:
+        if not isinstance(cell, dict):
+            raise ArtifactError(f"artifact cell must be an object, got {type(cell).__name__}")
+        for key in ("key", "experiment", "sim_time_s", "trace", "rollups"):
+            if key not in cell:
+                raise ArtifactError(f"artifact cell is missing {key!r}: {cell.get('key')}")
+        trace = cell["trace"]
+        if not isinstance(trace, dict):
+            raise ArtifactError(f"artifact cell {cell['key']!r} trace must be an object")
+        for key, kind in (
+            ("groups", list),
+            ("spans", list),
+            ("instants", list),
+            ("counters", list),
+            ("histograms", dict),
+        ):
+            if not isinstance(trace.get(key), kind):
+                raise ArtifactError(
+                    f"artifact cell {cell['key']!r} trace.{key} must be a {kind.__name__}"
+                )
+        for span in trace["spans"]:
+            if not isinstance(span, dict) or "name" not in span or "t0_s" not in span:
+                raise ArtifactError(
+                    f"artifact cell {cell['key']!r} has a malformed span: {span!r}"
+                )
+    return document
+
+
 def _write_json(path: str, document: Dict[str, Any]) -> None:
     payload = json.dumps(document, indent=2, sort_keys=False, default=str)
     if path == "-":
@@ -271,6 +359,24 @@ def write_profile_artifact(path: str, document: Dict[str, Any]) -> None:
     """Validate and write one profile artifact document (``-`` for stdout)."""
     validate_profile_artifact(document)
     _write_json(path, document)
+
+
+def write_trace_artifact(path: str, document: Dict[str, Any]) -> None:
+    """Validate and write one trace artifact document (``-`` for stdout)."""
+    validate_trace_artifact(document)
+    _write_json(path, document)
+
+
+def load_trace_artifact(path: str) -> Dict[str, Any]:
+    """Read and validate one trace artifact document from ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path} is not valid JSON: {exc}") from exc
+    return validate_trace_artifact(document)
 
 
 def load_profile_artifact(path: str) -> Dict[str, Any]:

@@ -16,10 +16,11 @@ host, not of the simulation.
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, TextIO
 
 from repro.runner.cells import Cell, CellResult, execute_cell, run_cells_inline
 from repro.runner.registry import ExperimentSpec, RunConfig, get_experiment
@@ -29,6 +30,48 @@ from repro.util.errors import ConfigurationError
 
 #: progress callback: (cells done, cells total, result of the finished cell)
 ProgressFn = Callable[[int, int, CellResult], None]
+
+
+class ProgressMeter:
+    """A stderr heartbeat for multi-minute runs (the ``--progress`` flag).
+
+    Usable directly as a :data:`ProgressFn`: prints one line per finished
+    cell with the done/total count and an ETA extrapolated from the mean
+    wall time of the cells completed so far, divided by the worker count
+    (cells are independent, so with W workers the remaining cells drain
+    roughly W at a time).  Writes to stderr so ``--artifact -`` and other
+    stdout consumers stay parseable.
+    """
+
+    def __init__(self, workers: int = 1, stream: Optional[TextIO] = None):
+        self.workers = max(1, workers)
+        self.stream = stream if stream is not None else sys.stderr
+        self._wall_times: List[float] = []
+
+    def __call__(self, done: int, total: int, result: CellResult) -> None:
+        self._wall_times.append(result.wall_time_s)
+        eta = self.eta_s(total - done)
+        suffix = f" eta={self._format_eta(eta)}" if done < total else ""
+        self.stream.write(
+            f"[{done}/{total}] {result.key} "
+            f"wall={result.wall_time_s:.2f}s sim={result.sim_time_s:.1f}s{suffix}\n"
+        )
+        self.stream.flush()
+
+    def eta_s(self, remaining_cells: int) -> float:
+        """Estimated seconds until the remaining cells finish."""
+        if remaining_cells <= 0 or not self._wall_times:
+            return 0.0
+        mean_wall = sum(self._wall_times) / len(self._wall_times)
+        return mean_wall * remaining_cells / self.workers
+
+    @staticmethod
+    def _format_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
 
 
 @dataclass

@@ -47,6 +47,7 @@ import heapq
 import math
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.obs.tracer import TRACER
 from repro.sim.core import Environment, Event
 from repro.sim.instrumentation import COUNTERS
 from repro.util.errors import SimulationError
@@ -65,9 +66,9 @@ class FairShareChannel:
             raise SimulationError(f"channel capacity must be positive, got {capacity}")
         self.system = system
         self.capacity = float(capacity)
-        self.name = name or "channel"
         #: creation order; gives components a deterministic iteration order
         self.index = system._next_channel_index()
+        self.name = name or f"channel-{self.index}"
         self.flows: set[Flow] = set()
         #: exact bytes delivered by flows that already left this channel
         self._carried_completed: float = 0.0
@@ -89,8 +90,11 @@ class FairShareChannel:
         live = sum(flow.size - flow.remaining for flow in self.flows)
         return self._carried_completed + live
 
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"<FairShareChannel {self.name} {self.capacity:.3g} B/s {len(self.flows)} flows>"
+    def __repr__(self) -> str:
+        return (
+            f"<FairShareChannel {self.name!r} {self.capacity:.6g} B/s, "
+            f"{len(self.flows)} active flow(s)>"
+        )
 
 
 class Flow:
@@ -132,8 +136,12 @@ class Flow:
     def finished(self) -> bool:
         return self.remaining <= _EPSILON_BYTES
 
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"<Flow {self.label} {self.remaining:.0f}/{self.size:.0f}B @ {self.rate:.3g}B/s>"
+    def __repr__(self) -> str:
+        via = "+".join(chan.name for chan in self.channels) or "no channels"
+        return (
+            f"<Flow {self.label!r} {self.remaining:.0f}/{self.size:.0f} B "
+            f"@ {self.rate:.6g} B/s via {via}>"
+        )
 
 
 def reference_allocation(flows: Iterable["Flow"]) -> Dict["Flow", float]:
@@ -369,6 +377,9 @@ class BandwidthSystem:
                 self.completed_flows += 1
                 self.bytes_delivered += flow.size
                 COUNTERS.bw_flows_completed += 1
+                if TRACER.enabled:
+                    TRACER.observe("flow.bytes", flow.size)
+                    TRACER.observe("flow.latency_s", self.env.now - flow.started_at)
                 if not flow.done.triggered:
                     flow.done.succeed(flow)
             else:
@@ -386,6 +397,16 @@ class BandwidthSystem:
         COUNTERS.bw_flows_allocated += len(flows)
         for flow, rate in reference_allocation(flows).items():
             flow.rate = rate
+        if TRACER.enabled:
+            # Channels collected and summed in creation-index order: a set
+            # iteration here would make float summation order (and thus the
+            # trace bytes) depend on object hashes.
+            touched = {chan.index: chan for flow in flows for chan in flow.channels}
+            now = self.env.now
+            for index in sorted(touched):
+                chan = touched[index]
+                used = sum(f.rate for f in sorted(chan.flows, key=lambda f: f.index))
+                TRACER.gauge("utilization", chan.name, now, used / chan.capacity)
 
     def _push_deadlines(self, flows: List[Flow]) -> None:
         """Recompute the absolute completion deadline of each flow."""
@@ -421,6 +442,8 @@ class BandwidthSystem:
                 break
             heapq.heappop(heap)
             COUNTERS.bw_stale_deadlines += 1
+        if TRACER.enabled:
+            TRACER.gauge("horizon-heap", "bandwidth", self.env.now, len(heap))
         if not self._flows:
             return
         if not heap:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.tracer import TRACER
 from repro.sim.instrumentation import COUNTERS
 from repro.util.errors import SimulationError
 
@@ -104,14 +105,14 @@ class Event:
         else:
             self.fail(event._value)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        label = self.name or type(self).__name__
+    def __repr__(self) -> str:
         state = "pending"
         if self._ok is True:
             state = "ok"
         elif self._ok is False:
-            state = "failed"
-        return f"<{label} {state} at t={self.env.now:.6f}>"
+            state = f"failed({type(self._value).__name__})"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.env.now:.6f}>"
 
 
 class Timeout(Event):
@@ -150,7 +151,7 @@ class Process(Event):
     therefore ``yield`` a process to wait for it.
     """
 
-    __slots__ = ("_generator", "_target", "_interrupts")
+    __slots__ = ("_generator", "_target", "_interrupts", "_span")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -159,11 +160,25 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self._interrupts: list[Interrupt] = []
+        self._span: Optional[int] = None
+        if TRACER.enabled:
+            # "ckpt:vm-003" traces as span "ckpt" on track "vm-003"; a name
+            # without a colon is a whole-simulation activity on track "sim".
+            phase, sep, track = self.name.partition(":")
+            self._span = TRACER.begin(
+                phase, track if sep else "sim", env.now, cat="process"
+            )
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
         return self._ok is None
+
+    def __repr__(self) -> str:
+        base = super().__repr__()
+        if self._ok is None and self._target is not None:
+            return f"{base[:-1]} waiting on {self._target!r}>"
+        return base
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -208,10 +223,16 @@ class Process(Event):
                         next_event = self._generator.throw(event._value)
                 except StopIteration as stop:
                     self.env._active_process = None
+                    if self._span is not None:
+                        TRACER.end(self._span, self.env.now)
                     self.succeed(stop.value)
                     return
                 except BaseException as exc:
                     self.env._active_process = None
+                    if self._span is not None:
+                        TRACER.end(
+                            self._span, self.env.now, args={"error": type(exc).__name__}
+                        )
                     self.fail(exc)
                     return
 
@@ -220,6 +241,8 @@ class Process(Event):
                     error = SimulationError(
                         f"process {self.name!r} yielded a non-event: {next_event!r}"
                     )
+                    if self._span is not None:
+                        TRACER.end(self._span, self.env.now, args={"error": "SimulationError"})
                     self.fail(error)
                     return
 

@@ -18,11 +18,18 @@ simulation ever *reads* them, so they cannot affect results.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields, replace
-from typing import Dict
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List
 
-#: counter fields aggregated with ``max`` instead of ``+`` across cells
-MAX_FIELDS = frozenset({"bw_max_component_flows"})
+
+def max_field(doc: str = "") -> int:
+    """A counter field aggregated with ``max`` instead of ``+`` across cells.
+
+    Declaring the aggregation mode on the field itself (dataclass metadata)
+    keeps :data:`MAX_FIELDS` in sync by construction: a new watermark-style
+    counter declared with ``max_field()`` can never silently sum.
+    """
+    return field(default=0, metadata={"aggregate": "max"})
 
 
 @dataclass
@@ -42,7 +49,7 @@ class SimCounters:
     #: total channels across all discovered components
     bw_component_channels: int = 0
     #: largest component (in flows) seen so far
-    bw_max_component_flows: int = 0
+    bw_max_component_flows: int = max_field()
     #: settle passes (one per component event)
     bw_settles: int = 0
     #: flows advanced by settle passes
@@ -73,6 +80,12 @@ class SimCounters:
             setattr(self, spec.name, 0)
 
 
+#: counter fields aggregated with ``max`` instead of ``+`` across cells,
+#: derived from the field metadata (see :func:`max_field`)
+MAX_FIELDS = frozenset(
+    spec.name for spec in fields(SimCounters) if spec.metadata.get("aggregate") == "max"
+)
+
 #: the process-global counter block (see module docstring)
 COUNTERS = SimCounters()
 
@@ -87,7 +100,7 @@ def counters_reset() -> None:
     COUNTERS.reset()
 
 
-def aggregate_counters(per_cell: list) -> Dict[str, int]:
+def aggregate_counters(per_cell: List[Dict[str, int]]) -> Dict[str, int]:
     """Fold per-cell counter dicts into one aggregate block.
 
     Additive fields sum; :data:`MAX_FIELDS` take the maximum across cells

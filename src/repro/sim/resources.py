@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
+from repro.obs.tracer import TRACER
 from repro.sim.core import Environment, Event
 from repro.sim.instrumentation import COUNTERS
 from repro.util.errors import SimulationError
@@ -16,7 +17,7 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, env: Environment, resource: "Resource"):
-        super().__init__(env, "resource-request")
+        super().__init__(env, f"{resource.name}.request")
         self.resource = resource
 
 
@@ -61,6 +62,8 @@ class Resource:
         else:
             COUNTERS.resource_waits += 1
             self._waiting.append(req)
+            if TRACER.enabled:
+                TRACER.gauge("queue", self.name, self.env.now, len(self._waiting))
         return req
 
     def release(self, request: Request) -> None:
@@ -69,13 +72,19 @@ class Resource:
         elif request in self._waiting:
             # Releasing a request that never got a slot cancels it.
             self._waiting.remove(request)
+            if TRACER.enabled:
+                TRACER.gauge("queue", self.name, self.env.now, len(self._waiting))
             return
         else:
             raise SimulationError(f"release of unknown request on {self.name}")
+        drained = False
         while self._waiting and len(self._users) < self.capacity:
             nxt = self._waiting.popleft()
             self._users.add(nxt)
             nxt.succeed(self)
+            drained = True
+        if drained and TRACER.enabled:
+            TRACER.gauge("queue", self.name, self.env.now, len(self._waiting))
 
 
 class Store:
