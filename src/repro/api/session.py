@@ -139,12 +139,17 @@ class Session:
         coordinated MPI checkpoints, ...) that are written as generators:
         the facade owns the clock, the caller keeps its workflow.
         """
+        if not self.cloud.live_compute_nodes():
+            raise ValueError(
+                "cannot drive a simulation with no live compute nodes; "
+                "repair or recreate the session first"
+            )
         return self.cloud.run(self.cloud.process(generator, name=name))
 
     def advance(self, seconds: float) -> float:
         """Let the simulation idle for ``seconds``; returns the new time."""
-        if seconds < 0:
-            raise ValueError(f"cannot advance by a negative duration ({seconds})")
+        if seconds <= 0:
+            raise ValueError(f"cannot advance by a non-positive duration ({seconds})")
 
         def _idle():
             yield self.cloud.env.timeout(seconds)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.blobseer.metadata import ChunkDescriptor, MetadataStore
 from repro.blobseer.provider import Chunk, ChunkKey, ProviderManager
@@ -79,9 +79,13 @@ class WriteResult:
         return per
 
 
-@dataclass(frozen=True)
-class ReadSegment:
-    """One piece of a read plan: where a byte window comes from."""
+class ReadSegment(NamedTuple):
+    """One piece of a read plan: where a byte window comes from.
+
+    A ``NamedTuple`` (not a frozen dataclass): restore plans create one
+    segment per stripe, and tuple construction is several times cheaper
+    than ``object.__setattr__``-based frozen-dataclass init.
+    """
 
     offset: int
     length: int
@@ -398,12 +402,21 @@ class BlobClient:
         chunk_size = self.version_manager.get(blob_id).chunk_size
         first_stripe = offset // chunk_size
         last_stripe = (offset + size - 1) // chunk_size
+        # One ranged tree collection instead of a root-to-leaf walk per
+        # stripe: restores plan whole images, so the window often spans
+        # hundreds of stripes.
+        by_stripe = {
+            desc.stripe_index: desc
+            for desc in self.metadata.descriptors_in_range(
+                blob_id, record.version, first_stripe, last_stripe
+            )
+        }
         segments: List[ReadSegment] = []
         for stripe in range(first_stripe, last_stripe + 1):
             stripe_start = stripe * chunk_size
             win_start = max(offset, stripe_start)
             win_end = min(offset + size, stripe_start + chunk_size)
-            descriptor = self.metadata.lookup(blob_id, record.version, stripe)
+            descriptor = by_stripe.get(stripe)
             segments.append(
                 ReadSegment(
                     offset=win_start,

@@ -243,10 +243,11 @@ class MetadataStore:
             return None
         node = root
         while node is not None:
-            if node.is_leaf:
+            lo = node.lo
+            hi = node.hi
+            if hi - lo == 1:  # leaf test inlined: this walk is read-path hot
                 return node.descriptor
-            mid = (node.lo + node.hi) // 2
-            node = node.left if stripe_index < mid else node.right
+            node = node.left if stripe_index < (lo + hi) // 2 else node.right
         return None
 
     def descriptors_in_range(
@@ -273,7 +274,7 @@ class MetadataStore:
     ) -> None:
         if node is None or last < node.lo or first > node.hi - 1:
             return
-        if node.is_leaf:
+        if node.hi - node.lo == 1:
             if node.descriptor is not None:
                 out.append(node.descriptor)
             return

@@ -184,6 +184,12 @@ class ProviderManager:
         self._crc_arr = np.empty(0, dtype=np.int64)
         self._alive_arr = np.empty(0, dtype=bool)
         self._arrays_stale = True
+        #: cached live-slot index array and conservative headroom: a lower
+        #: bound on the smallest free capacity among live providers, so the
+        #: room filter can be skipped for chunks that everyone can take
+        self._live_idx = np.empty(0, dtype=np.int64)
+        self._all_alive = True
+        self._min_free: Optional[int] = None
         #: maps a requested chunk key to the key it is physically stored under
         #: (logical -> canonical alias resolution of the dedup layer); set by
         #: :class:`~repro.blobseer.client.BlobClient`
@@ -233,16 +239,27 @@ class ProviderManager:
         self._cap_arr = np.fromiter((p.capacity for p in self._slots), np.int64, count)
         self._crc_arr = np.fromiter((p.placement_crc for p in self._slots), np.int64, count)
         self._alive_arr = np.fromiter((p.alive for p in self._slots), bool, count)
+        self._live_idx = np.nonzero(self._alive_arr)[0]
+        self._all_alive = int(self._live_idx.size) == count
+        self._min_free = None
         self._arrays_stale = False
 
     def _mirror_usage(self, provider: DataProvider) -> None:
         if not self._arrays_stale:
-            self._used_arr[provider._slot] = provider._used
+            slot = provider._slot
+            self._used_arr[slot] = provider._used
+            if self._min_free is not None and self._alive_arr[slot]:
+                free = int(self._cap_arr[slot]) - provider._used
+                if free < self._min_free:
+                    self._min_free = free
 
     def _mirror_failure(self, provider: DataProvider) -> None:
         if not self._arrays_stale:
             self._alive_arr[provider._slot] = False
             self._used_arr[provider._slot] = 0
+            self._live_idx = np.nonzero(self._alive_arr)[0]
+            self._all_alive = False
+            self._min_free = None
 
     def place(self, key: ChunkKey, size: int) -> PlacementDecision:
         """Choose ``replication`` distinct live providers for a new chunk.
@@ -258,17 +275,43 @@ class ProviderManager:
         """
         if self._arrays_stale:
             self._rebuild_arrays()
-        room = self._alive_arr & ((self._cap_arr - self._used_arr) >= size)
-        live = np.nonzero(room)[0]
+        if self._min_free is None and self._live_idx.size:
+            free = self._cap_arr - self._used_arr
+            live_free = free if self._all_alive else free[self._live_idx]
+            self._min_free = int(live_free.min())
+        if self._min_free is not None and size <= self._min_free:
+            # Every live provider has room (the overwhelmingly common case:
+            # chunks are small against provider capacity): skip the room
+            # filter entirely and reuse the cached live-slot indices.
+            live = self._live_idx
+            used_live = self._used_arr if self._all_alive else self._used_arr[live]
+        else:
+            room = self._alive_arr & ((self._cap_arr - self._used_arr) >= size)
+            live = np.nonzero(room)[0]
+            used_live = self._used_arr[live]
         modulus = live.size
         if modulus == 0:
             raise StorageError("no live data provider has room for the chunk")
         count = min(self.replication, modulus)
+        # The tie-break stream advances once per placement regardless of the
+        # path below -- the draw itself is part of the deterministic state.
         tie = next(self._rr)
+        if count == 1:
+            # Single replica (the common BlobCR configuration): the full
+            # stable lexsort only ever contributes its first row, so pick it
+            # with two argmin passes instead -- least-loaded first, then the
+            # smallest rotated CRC, first occurrence on ties, which is
+            # exactly the leading row of the stable sort below.
+            cand = np.nonzero(used_live == used_live.min())[0]
+            if cand.size > 1:
+                rotation = (self._crc_arr[live[cand]] + tie) % modulus
+                cand = cand[int(rotation.argmin()) :]
+            winner = int(live[cand[0]])
+            return PlacementDecision(key=key, providers=[self._slots[winner].provider_id])
         # The tie-break must be stable across interpreter runs, so it uses a
         # CRC of the provider id rather than Python's randomized str hash.
         rotation = (self._crc_arr[live] + tie) % modulus
-        order = np.lexsort((rotation, self._used_arr[live]))
+        order = np.lexsort((rotation, used_live))
         chosen = live[order[:count]]
         slots = self._slots
         return PlacementDecision(key=key, providers=[slots[i].provider_id for i in chosen])

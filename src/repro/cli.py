@@ -107,6 +107,18 @@ def _add_selection_arguments(parser: argparse.ArgumentParser, names: List[str], 
         "--override cluster.seed=N)",
     )
     parser.add_argument(
+        "--solver-verify",
+        action="store_true",
+        help="cross-check every incremental bandwidth allocation against the "
+        "reference solver (slow; shorthand for --override cluster.solver.verify=true)",
+    )
+    parser.add_argument(
+        "--solver-no-batch",
+        action="store_true",
+        help="disable same-instant replan batching and run the legacy scalar "
+        "solver (A/B baseline; shorthand for --override cluster.solver.batching=false)",
+    )
+    parser.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress the per-cell progress lines on stderr",
@@ -190,6 +202,14 @@ def _resolve_run_inputs(
         parser.error(
             f"--cells selector(s) outside the requested experiments: {', '.join(outside)}"
         )
+
+    # The solver switches are folded into the override stream (rather than
+    # into the spec directly) so every artifact records exactly which solver
+    # configuration produced it.
+    if getattr(args, "solver_verify", False):
+        args.override.append("cluster.solver.verify=true")
+    if getattr(args, "solver_no_batch", False):
+        args.override.append("cluster.solver.batching=false")
 
     try:
         # One shared pipeline with repro.api: validate every override (the

@@ -39,7 +39,7 @@ class Cloud:
                 f"cloud[{self.spec.compute_nodes}+{self.spec.service_nodes} nodes]"
             )
         self.env = Environment()
-        self.network = Network(self.env, self.spec.network)
+        self.network = Network(self.env, self.spec.network, solver=self.spec.solver)
         self.compute_nodes: List[ComputeNode] = [
             ComputeNode(
                 self.env, self.network, self.spec.disk, f"node-{i:03d}", cores=self.spec.vm.vcpus

@@ -9,22 +9,24 @@ and per-message software overhead but negligible bandwidth.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.sim.bandwidth import BandwidthSystem, FairShareChannel
 from repro.sim.core import Environment, Event
-from repro.util.config import NetworkSpec
+from repro.util.config import NetworkSpec, SolverConfig
 from repro.util.errors import FailureInjected, SimulationError
 
 
 class Network:
     """The switch fabric plus one NIC pair per attached node."""
 
-    def __init__(self, env: Environment, spec: NetworkSpec):
+    def __init__(
+        self, env: Environment, spec: NetworkSpec, solver: Optional[SolverConfig] = None
+    ):
         spec.validate()
         self.env = env
         self.spec = spec
-        self.bandwidth = BandwidthSystem(env)
+        self.bandwidth = BandwidthSystem(env, config=solver)
         self.switch = self.bandwidth.channel(spec.switch_bandwidth, "switch")
         self._nic_tx: Dict[str, FairShareChannel] = {}
         self._nic_rx: Dict[str, FairShareChannel] = {}

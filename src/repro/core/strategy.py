@@ -1,8 +1,8 @@
 """Common deployment / checkpoint / restart interface.
 
 BlobCR and the two qcow2-over-PVFS baselines are all expressed as
-:class:`Deployment` subclasses so that the applications, the experiment
-harness and the benchmarks can drive them interchangeably:
+:class:`Deployment` subclasses so that the applications, the scenario
+layer and the benchmarks can drive them interchangeably:
 
 * ``deploy(n)`` -- multi-deployment of ``n`` instances from the base image,
 * ``checkpoint_all()`` -- take a global checkpoint (stage 2 of the paper's
@@ -102,7 +102,7 @@ class RestartReport:
 class Deployment(abc.ABC):
     """Base class of the three evaluated checkpoint-restart strategies."""
 
-    #: label used by the experiment harness ("BlobCR", "qcow2-disk", "qcow2-full")
+    #: label used by the scenario layer ("BlobCR", "qcow2-disk", "qcow2-full")
     name: str = "abstract"
 
     def __init__(self, cloud: Cloud):

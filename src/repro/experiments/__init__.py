@@ -1,4 +1,4 @@
-"""Experiment harness: one module per table / figure of the paper.
+"""Experiment scenarios: one module per table / figure of the paper.
 
 Every experiment registers an :class:`~repro.runner.registry.ExperimentSpec`
 with the parallel runner (cell enumeration + row merging) and keeps its

@@ -1,7 +1,7 @@
 """Beyond-paper scenario: checkpoint/restart scalability sweep (``scale``).
 
 The paper stops at 120 VM instances -- the size of one Grid'5000 cluster.
-This sweep pushes the same deploy/checkpoint/restart cycle to 4096 instances
+This sweep pushes the same deploy/checkpoint/restart cycle to 8192 instances
 (under ``--paper-scale``; the default reduced axis covers 16..64), growing
 the simulated cloud with the instance count while keeping the per-node
 hardware calibration fixed.  The declared quantities are the three phase
@@ -10,9 +10,11 @@ planes and the PVFS baselines degrade as the aggregate write pressure
 grows.
 
 The 4096-instance axis became affordable with the incremental
-fluid-bandwidth solver and the array-based placement selection (see
-``docs/performance.md`` for measured wall times); the reduced axis is
-unchanged so the committed benchmark baseline stays comparable.
+fluid-bandwidth solver and the array-based placement selection; the 8192
+axis with the batched end-of-instant flush and the vectorised progressive
+filling loop (see ``docs/performance.md`` for measured wall times).  The
+reduced axis is unchanged so the committed benchmark baseline stays
+comparable.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ SCALE_APPROACHES = ("BlobCR-app", "qcow2-disk-app")
 
 _DESCRIPTION = (
     "deploy / checkpoint / restart completion time (s) per approach vs "
-    "instance count, up to 4096 instances at paper scale"
+    "instance count, up to 8192 instances at paper scale"
 )
 
 
@@ -58,7 +60,7 @@ SCENARIO = ScenarioSpec(
     name="scale",
     description=_DESCRIPTION,
     axes=(
-        Axis("instances", (16, 32, 64), paper_values=(512, 1024, 2048, 4096)),
+        Axis("instances", (16, 32, 64), paper_values=(512, 1024, 2048, 4096, 8192)),
         Axis("approach", SCALE_APPROACHES),
         Axis("buffer_bytes", (50 * MB,)),
     ),

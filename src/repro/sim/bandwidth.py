@@ -29,11 +29,41 @@ The engine exploits this on every flow start/finish/abort:
   channels) is settled and re-allocated -- flows in other components keep
   both their rate *and* their settle point, so an event on one node's disk
   never touches the transfers of 4 095 other instances;
-* instead of scanning every flow for the next completion, each allocated
-  flow pushes an absolute completion deadline into a **horizon heap**;
-  superseded entries are invalidated lazily when popped.  One timer is
-  armed per event at the earliest valid deadline (scheduled at the
-  *absolute* deadline, so firing times carry no extra rounding).
+* instead of scanning every flow for the next completion, each allocation
+  pushes the *earliest* absolute completion deadline of its component into
+  a **horizon heap**; superseded entries are invalidated lazily when
+  popped.  One timer is armed per event at the earliest valid deadline
+  (scheduled at the *absolute* deadline, so firing times carry no extra
+  rounding).  One entry per allocation suffices: when the timer fires the
+  whole component is settled and re-planned, which detects *every* finished
+  flow by its byte count and pushes a fresh earliest deadline.
+
+Batched same-instant replans
+----------------------------
+
+Flow *starts* are additionally coalesced per simulated instant: with
+:class:`~repro.util.config.SolverConfig` ``batching`` on (the default),
+``transfer()`` only attaches the new flow to its channels and parks it on a
+pending list; an end-of-instant flush hook (see
+:meth:`~repro.sim.core.Environment.add_flush_hook`) then settles and
+re-plans each touched component exactly once, however many flows started at
+that instant.  This is exact, not approximate: max-min rates depend only on
+component membership and capacities -- never on remaining byte counts -- and
+flows parked within one instant carry zero elapsed time, so the end-of-instant
+state is identical to re-planning after every start.
+
+Vectorized progressive filling
+------------------------------
+
+For components above a small threshold, progressive filling runs over numpy
+arrays mirroring the object registry (per-flow channel-index arrays plus a
+capacity array indexed by channel creation order), in the exact operation
+order of the scalar solver: encounter-ordered channel ids reproduce the
+reference solver's dict insertion order, ``np.argmin`` picks the same
+first-occurrence bottleneck as the scalar first-strict-minimum scan, and
+``np.subtract.at`` applies capacity decrements in the same sequence -- so
+every allocation decision is bit-identical to the scalar path (mirroring
+what PR 5 did for ``ProviderManager.place``).
 
 :func:`reference_allocation` retains the global water-filling solver as an
 executable specification; ``BandwidthSystem(verify=True)`` cross-checks every
@@ -45,15 +75,40 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.obs.tracer import TRACER
 from repro.sim.core import Environment, Event
 from repro.sim.instrumentation import COUNTERS
+from repro.util.config import SolverConfig
 from repro.util.errors import SimulationError
 
 _EPSILON_BYTES = 1e-6
 _EPSILON_TIME = 1e-12
+#: components below this size use the scalar solver -- numpy's fixed
+#: per-call overhead loses to a handful of dict operations (both paths are
+#: bit-identical, so the threshold is purely a performance knob)
+_VECTOR_MIN_FLOWS = 16
+
+#: process-global wall-clock seconds spent inside the solver's entry points
+#: (planning a started flow, end-of-instant flushes, horizon timers, failure
+#: aborts).  Unlike the deterministic COUNTERS this is real time -- it exists
+#: so ``tools/bench_solver_ab.py`` can A/B the batched vs legacy solver paths
+#: without the surrounding application model diluting the comparison.
+_SOLVER_WALL = {"seconds": 0.0}
+
+
+def solver_wall_reset() -> None:
+    """Zero the process-global solver wall-clock accumulator."""
+    _SOLVER_WALL["seconds"] = 0.0
+
+
+def solver_wall_seconds() -> float:
+    """Wall-clock seconds spent in solver entry points since the last reset."""
+    return _SOLVER_WALL["seconds"]
 
 
 class FairShareChannel:
@@ -67,7 +122,8 @@ class FairShareChannel:
         self.system = system
         self.capacity = float(capacity)
         #: creation order; gives components a deterministic iteration order
-        self.index = system._next_channel_index()
+        #: and doubles as the channel's row in the solver's capacity mirror
+        self.index = system._register_channel(self)
         self.name = name or f"channel-{self.index}"
         self.flows: set[Flow] = set()
         #: exact bytes delivered by flows that already left this channel
@@ -105,6 +161,10 @@ class Flow:
     remaining count is ``remaining - rate * (now - settled_at)``.
     ``deadline`` is the absolute completion time backing the horizon heap;
     a heap entry is valid only while it still equals the flow's deadline.
+    ``pending`` marks a flow that started at the current instant and has not
+    been planned yet (same-instant batching); it is attached to its channels
+    (so component discovery and failure injection see it) but carries rate 0
+    until the end-of-instant flush.
     """
 
     __slots__ = (
@@ -118,6 +178,8 @@ class Flow:
         "deadline",
         "index",
         "label",
+        "pending",
+        "_chan_arr",
     )
 
     def __init__(self, size: float, channels: Sequence[FairShareChannel], done: Event, label: str):
@@ -131,6 +193,13 @@ class Flow:
         self.deadline = math.inf
         self.index = 0
         self.label = label
+        self.pending = False
+        #: channel indices as an int array -- the flow's row of the solver's
+        #: incidence mirror, built once so vectorized allocation never walks
+        #: the channel objects
+        self._chan_arr = np.fromiter(
+            (chan.index for chan in self.channels), np.int64, len(self.channels)
+        )
 
     @property
     def finished(self) -> bool:
@@ -200,6 +269,11 @@ def reference_allocation(flows: Iterable["Flow"]) -> Dict["Flow", float]:
 class BandwidthSystem:
     """Owner of all channels and flows of one simulation environment.
 
+    Behaviour is governed by :class:`~repro.util.config.SolverConfig`
+    (``config``): reference verification, same-instant batching and the
+    instrumentation level.  ``verify`` overrides ``config.verify`` when
+    given (the historical keyword the equivalence tests use).
+
     ``verify=True`` re-derives every flow's rate through
     :func:`reference_allocation` over the *whole* system after each
     incremental recomputation and raises on any mismatch -- slow, but it
@@ -207,12 +281,42 @@ class BandwidthSystem:
     (used by the equivalence tests; harmless to enable on small models).
     """
 
-    def __init__(self, env: Environment, verify: bool = False):
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[SolverConfig] = None,
+        verify: Optional[bool] = None,
+    ):
+        config = config or SolverConfig()
+        config.validate()
         self.env = env
-        self.verify = verify
-        self._flows: set[Flow] = set()
+        self.config = config
+        self.verify = config.verify if verify is None else verify
+        self.batching = config.batching
+        #: instrumentation gates derived from the config level; results are
+        #: independent of both (counters/gauges are never read by the model)
+        self._count = config.instrumentation != "off"
+        self._gauges = config.instrumentation == "full"
+        # Insertion-ordered (dict): flows are registered in index order, so
+        # iterating never needs a sort to recover creation order.
+        self._flows: Dict[Flow, None] = {}
         self._flow_index = 0
         self._channel_index = 0
+        #: channels currently carrying at least one flow (kept in lockstep
+        #: with attach/detach so the full-cover component fast path can
+        #: report the exact channel count the BFS would have seen)
+        self._busy_channels = 0
+        #: flows started at the current instant, awaiting the flush hook
+        self._pending: List[Flow] = []
+        #: number of live flows still carrying pending=True; reference
+        #: verification only makes sense when this is zero (a parked flow's
+        #: rate is 0 by construction, not by the reference solver)
+        self._unplanned = 0
+        #: capacity mirror indexed by channel index (slot 0 unused); the
+        #: numpy view is rebuilt lazily after channel creation
+        self._cap_list: List[float] = []
+        self._cap_arr: Optional[np.ndarray] = None
+        self._lid_lookup: Optional[np.ndarray] = None
         #: completion-horizon heap of (deadline, push sequence, flow);
         #: entries are invalidated lazily (see _arm_timer / _on_timer)
         self._heap: List[Tuple[float, int, Flow]] = []
@@ -221,6 +325,8 @@ class BandwidthSystem:
         self.completed_flows = 0
         #: exact total bytes delivered by completed flows
         self.bytes_delivered = 0.0
+        if self.batching:
+            env.add_flush_hook(self._flush_pending)
 
     # -- public API -------------------------------------------------------------
 
@@ -265,19 +371,41 @@ class BandwidthSystem:
         if nbytes <= _EPSILON_BYTES or not channel_list:
             completion.succeed(flow)
             return done
-        COUNTERS.bw_flows_started += 1
+        if self._count:
+            COUNTERS.bw_flows_started += 1
+        if self.batching:
+            # Park the flow until the end of the instant: attach it (so
+            # component discovery and failure injection see it) but keep it
+            # at rate 0 -- the flush hook settles and re-plans each touched
+            # component exactly once per instant.  Indices are assigned in
+            # call order, exactly as the scalar path would.
+            self._flow_index += 1
+            flow.index = self._flow_index
+            self._flows[flow] = None
+            for chan in channel_list:
+                if not chan.flows:
+                    self._busy_channels += 1
+                chan.flows.add(flow)
+            flow.pending = True
+            self._unplanned += 1
+            self._pending.append(flow)
+            return done
         # Starting a flow can merge components: settle everything reachable
         # from any of its channels before the rates change.
+        t0 = perf_counter()
         component = self._component(channel_list)
         self._settle(component)
         self._flow_index += 1
         flow.index = self._flow_index
         flow.settled_at = self.env.now
-        self._flows.add(flow)
+        self._flows[flow] = None
         for chan in channel_list:
+            if not chan.flows:
+                self._busy_channels += 1
             chan.flows.add(flow)
         component.append(flow)  # highest index: the sort order is preserved
         self._replan(component)
+        _SOLVER_WALL["seconds"] += perf_counter() - t0
         return done
 
     def fail_channel(self, channel: FairShareChannel, exception: BaseException) -> int:
@@ -289,6 +417,7 @@ class BandwidthSystem:
         """
         if not channel.flows:
             return 0
+        t0 = perf_counter()
         component = self._component([channel])
         self._settle(component)
         victims = sorted(channel.flows, key=lambda f: f.index)
@@ -298,7 +427,10 @@ class BandwidthSystem:
             if not flow.done.triggered:
                 flow.done.fail(exception)
         survivors = [f for f in component if channel not in f.channels]
-        self._replan(survivors)
+        # Removing the failed channel's flows can leave the survivors in
+        # several disconnected groups even though nobody *finished*.
+        self._replan(survivors, may_split=True)
+        _SOLVER_WALL["seconds"] += perf_counter() - t0
         return len(victims)
 
     @property
@@ -307,9 +439,50 @@ class BandwidthSystem:
 
     # -- internals ----------------------------------------------------------------
 
-    def _next_channel_index(self) -> int:
+    def _register_channel(self, channel: FairShareChannel) -> int:
         self._channel_index += 1
+        self._cap_list.append(channel.capacity)
+        self._cap_arr = None  # mirror grows lazily on next vector allocation
         return self._channel_index
+
+    def _capacity_mirror(self) -> np.ndarray:
+        if self._cap_arr is None:
+            # Slot 0 is unused: channel indices are 1-based creation order.
+            self._cap_arr = np.empty(len(self._cap_list) + 1, dtype=np.float64)
+            self._cap_arr[0] = math.nan
+            self._cap_arr[1:] = self._cap_list
+            self._lid_lookup = np.zeros(len(self._cap_list) + 1, dtype=np.int64)
+        return self._cap_arr
+
+    def _flush_pending(self) -> None:
+        """End-of-instant hook: plan every flow that started at this instant.
+
+        Each still-unplanned pending flow seeds one component discovery;
+        flows whose component was already re-planned mid-instant (a timer or
+        a channel failure landed on the same timestamp) or that were aborted
+        are skipped.  Components are processed separately, never as one
+        merged union, so the work counters keep reflecting the true
+        partitioning.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        t0 = perf_counter()
+        self._pending = []
+        if self._count:
+            COUNTERS.bw_batches += 1
+            COUNTERS.bw_batch_flows += len(pending)
+            if len(pending) > COUNTERS.bw_max_batch_flows:
+                COUNTERS.bw_max_batch_flows = len(pending)
+        if self._gauges and TRACER.enabled:
+            TRACER.observe("bw.batch_flows", len(pending))
+        for flow in pending:
+            if not flow.pending or flow not in self._flows:
+                continue
+            component = self._component(flow.channels)
+            self._settle(component)
+            self._replan(component)
+        _SOLVER_WALL["seconds"] += perf_counter() - t0
 
     def _component(self, channels: Iterable[FairShareChannel]) -> List[Flow]:
         """Flows transitively sharing a channel with any of ``channels``.
@@ -317,13 +490,36 @@ class BandwidthSystem:
         BFS over the bipartite flow/channel graph; the result is sorted by
         flow creation order so settling and progressive filling iterate
         deterministically (never in set order).
+
+        Fast path: when some seed channel is crossed by *every* live flow
+        (at scale that is the shared switch), the component is the whole
+        system and its channel set is every busy channel plus any seed
+        channels nobody crosses yet -- the BFS result is known without
+        walking the graph.
         """
         seen_channels: Set[FairShareChannel] = set()
         stack: List[FairShareChannel] = []
+        total = len(self._flows)
+        full_cover = False
+        empty_seeds = 0
         for chan in channels:
             if chan not in seen_channels:
                 seen_channels.add(chan)
                 stack.append(chan)
+                count = len(chan.flows)
+                if count == total and total:
+                    full_cover = True
+                elif count == 0:
+                    empty_seeds += 1
+        if full_cover:
+            flows = list(self._flows)  # insertion order == index order
+            if self._count:
+                COUNTERS.bw_components += 1
+                COUNTERS.bw_component_flows += total
+                COUNTERS.bw_component_channels += self._busy_channels + empty_seeds
+                if total > COUNTERS.bw_max_component_flows:
+                    COUNTERS.bw_max_component_flows = total
+            return flows
         seen_flows: Set[Flow] = set()
         flows: List[Flow] = []
         while stack:
@@ -338,18 +534,66 @@ class BandwidthSystem:
                         seen_channels.add(other)
                         stack.append(other)
         flows.sort(key=lambda f: f.index)
-        COUNTERS.bw_components += 1
-        COUNTERS.bw_component_flows += len(flows)
-        COUNTERS.bw_component_channels += len(seen_channels)
-        if len(flows) > COUNTERS.bw_max_component_flows:
-            COUNTERS.bw_max_component_flows = len(flows)
+        if self._count:
+            COUNTERS.bw_components += 1
+            COUNTERS.bw_component_flows += len(flows)
+            COUNTERS.bw_component_channels += len(seen_channels)
+            if len(flows) > COUNTERS.bw_max_component_flows:
+                COUNTERS.bw_max_component_flows = len(flows)
         return flows
+
+    def _live_groups(self, flows: List[Flow]) -> List[List[Flow]]:
+        """Partition surviving flows into their connected groups.
+
+        Called after a replan detached at least one flow: every member of
+        ``flows`` is still attached and every flow reachable from their
+        channels is itself in ``flows`` (detached flows have been removed
+        from the channel sets), so a BFS seeded in index order recovers the
+        post-split components exactly.  Each group is returned sorted by
+        flow index so the heap entries derived from it are deterministic.
+        """
+        if len(flows) <= 1:
+            return [flows]
+        for chan in flows[0].channels:
+            if len(chan.flows) == len(flows):
+                # Some channel is crossed by every survivor (the shared
+                # switch, at scale): still one connected group, no BFS.
+                return [flows]
+        seen_flows: Set[Flow] = set()
+        groups: List[List[Flow]] = []
+        for seed in flows:  # ``flows`` is sorted: seeds visit in index order
+            if seed in seen_flows:
+                continue
+            seen_flows.add(seed)
+            group = [seed]
+            seen_channels: Set[FairShareChannel] = set(seed.channels)
+            stack: List[FairShareChannel] = list(seen_channels)
+            while stack:
+                chan = stack.pop()
+                for flow in chan.flows:
+                    if flow in seen_flows:
+                        continue
+                    seen_flows.add(flow)
+                    group.append(flow)
+                    for other in flow.channels:
+                        if other not in seen_channels:
+                            seen_channels.add(other)
+                            stack.append(other)
+            if not groups and len(seen_flows) == len(flows):
+                # Everyone reachable from the first seed: no split happened
+                # (the common case -- e.g. the shared switch keeps every
+                # network flow in one fabric).
+                return [flows]
+            group.sort(key=lambda f: f.index)
+            groups.append(group)
+        return groups
 
     def _settle(self, flows: List[Flow]) -> None:
         """Advance the given flows to the current time at their last rates."""
         now = self.env.now
-        COUNTERS.bw_settles += 1
-        COUNTERS.bw_flows_settled += len(flows)
+        if self._count:
+            COUNTERS.bw_settles += 1
+            COUNTERS.bw_flows_settled += len(flows)
         for flow in flows:
             elapsed = now - flow.settled_at
             flow.settled_at = now
@@ -360,44 +604,84 @@ class BandwidthSystem:
                 flow.remaining = max(0.0, flow.remaining - moved)
 
     def _detach(self, flow: Flow, delivered: float) -> None:
-        self._flows.discard(flow)
+        self._flows.pop(flow, None)
+        if flow.pending:  # aborted before its instant was flushed
+            flow.pending = False
+            self._unplanned -= 1
         for chan in flow.channels:
-            chan.flows.discard(flow)
+            flows = chan.flows
+            if flow in flows:
+                flows.discard(flow)
+                if not flows:
+                    self._busy_channels -= 1
             chan._carried_completed += delivered
 
-    def _replan(self, component: List[Flow]) -> None:
+    def _replan(self, component: List[Flow], may_split: bool = False) -> None:
         """Complete finished flows, re-allocate the rest, re-arm the timer.
 
         ``component`` must already be settled and sorted by flow index.
+        ``may_split`` marks callers (channel failure) whose ``component`` may
+        already span several connected groups even without a completion.
         """
         live: List[Flow] = []
+        detached = may_split
         for flow in component:
-            if flow.finished:
+            if flow.remaining <= _EPSILON_BYTES:  # .finished, inlined (hot)
                 self._detach(flow, flow.size)
+                detached = True
                 self.completed_flows += 1
                 self.bytes_delivered += flow.size
-                COUNTERS.bw_flows_completed += 1
-                if TRACER.enabled:
+                if self._count:
+                    COUNTERS.bw_flows_completed += 1
+                if TRACER.enabled and self._gauges:
                     TRACER.observe("flow.bytes", flow.size)
                     TRACER.observe("flow.latency_s", self.env.now - flow.started_at)
                 if not flow.done.triggered:
                     flow.done.succeed(flow)
             else:
+                if flow.pending:
+                    flow.pending = False
+                    self._unplanned -= 1
                 live.append(flow)
         if live:
             self._allocate(live)
-            self._push_deadlines(live)
-        if self.verify:
+            if detached and self.batching:
+                # A detached flow may have been the bridge holding the
+                # component together (or ``component`` was already a union
+                # of fabrics with coinciding deadlines): each surviving
+                # connected group needs its own min-entry in the horizon
+                # heap, or a split-off group would never be woken again.
+                # The legacy path pushes per flow, so it never orphans.
+                for group in self._live_groups(live):
+                    self._push_deadlines(group)
+            else:
+                self._push_deadlines(live)
+        if self.verify and self._unplanned == 0:
+            # Parked flows elsewhere hold rate 0 by construction; the global
+            # cross-check is only meaningful once the whole instant is
+            # planned (the flush hook re-plans every pending component
+            # before the clock advances).
             self._verify_against_reference()
         self._arm_timer()
 
     def _allocate(self, flows: List[Flow]) -> None:
-        """Progressive filling restricted to one (settled) component."""
-        COUNTERS.bw_allocations += 1
-        COUNTERS.bw_flows_allocated += len(flows)
-        for flow, rate in reference_allocation(flows).items():
-            flow.rate = rate
-        if TRACER.enabled:
+        """Progressive filling restricted to one (settled) component.
+
+        Small components run the scalar reference procedure directly; larger
+        ones run the vectorized mirror of it (bit-identical, see
+        :meth:`_allocate_vector`).  ``batching=False`` pins the scalar
+        procedure unconditionally: that is the legacy solver the
+        ``--solver-no-batch`` escape hatch and the CI A/B gate run against.
+        """
+        if self._count:
+            COUNTERS.bw_allocations += 1
+            COUNTERS.bw_flows_allocated += len(flows)
+        if not self.batching or len(flows) < _VECTOR_MIN_FLOWS:
+            for flow, rate in reference_allocation(flows).items():
+                flow.rate = rate
+        else:
+            self._allocate_vector(flows)
+        if TRACER.enabled and self._gauges:
             # Channels collected and summed in creation-index order: a set
             # iteration here would make float summation order (and thus the
             # trace bytes) depend on object hashes.
@@ -408,9 +692,105 @@ class BandwidthSystem:
                 used = sum(f.rate for f in sorted(chan.flows, key=lambda f: f.index))
                 TRACER.gauge("utilization", chan.name, now, used / chan.capacity)
 
+    def _allocate_vector(self, flows: List[Flow]) -> None:
+        """Progressive filling over array mirrors, bit-identical to the scalar.
+
+        The assembly replays the reference solver's exact operation sequence:
+
+        * channels get local ids in *encounter order* (first occurrence over
+          flows in index order, channel-tuple order) -- the reference
+          solver's dict insertion order, which decides bottleneck ties;
+        * ``shares.argmin()`` returns the first occurrence of the minimum,
+          exactly like the scalar first-strict-minimum scan over that order,
+          and every stored share is the same single IEEE division over the
+          same operands (a share is recomputed only when its channel's
+          residual or user count changed, so unchanged entries hold the very
+          bits a full recomputation would produce);
+        * capacity decrements run per flow in index order with an immediate
+          ``max(0, .)`` clamp -- literally the scalar inner loop.
+
+        The round loop itself is hybrid: numpy picks the bottleneck over all
+        k channels in one ``argmin``, then plain-python scalar updates touch
+        only the few flows/channels the freeze changed (the all-array variant
+        spent more time on per-round numpy dispatch than on the data).
+        """
+        n = len(flows)
+        counts = np.fromiter((len(f.channels) for f in flows), np.int64, n)
+        ch_idx = np.concatenate([f._chan_arr for f in flows])
+        fl_ptr = np.repeat(np.arange(n, dtype=np.int64), counts)
+        uniq, first = np.unique(ch_idx, return_index=True)
+        enc = uniq[np.argsort(first, kind="stable")]
+        k = enc.size
+        capacities = self._capacity_mirror()
+        lookup = self._lid_lookup
+        lookup[enc] = np.arange(k, dtype=np.int64)
+        lid = lookup[ch_idx]
+        users_arr = np.bincount(lid, minlength=k)
+        shares = capacities[enc] / users_arr  # every encountered channel has >= 1 user
+        # Python-side mirrors for the scalar round loop.
+        cap_left = capacities[enc].tolist()
+        users = users_arr.tolist()
+        lid_list = lid.tolist()
+        fstart = [0] * (n + 1)
+        acc = 0
+        for i, c in enumerate(counts.tolist()):
+            acc += c
+            fstart[i + 1] = acc
+        # Edges grouped by channel; stable sort keeps flows in index order
+        # within each channel (fl_ptr is non-decreasing), which is the order
+        # the scalar solver freezes them in.
+        by_chan = fl_ptr[np.argsort(lid, kind="stable")].tolist()
+        cstart = [0] * (k + 1)
+        acc = 0
+        for c, u in enumerate(users):
+            acc += u
+            cstart[c + 1] = acc
+        rates = [math.inf] * n
+        unfrozen = [True] * n
+        remaining = n
+        inf = math.inf
+        while remaining:
+            bottleneck = int(shares.argmin())
+            share = float(shares[bottleneck])
+            if share == inf:
+                # Remaining flows cross no constrained channel (the scalar
+                # solver's bottleneck-is-None branch); rates pre-filled inf.
+                break
+            for f in by_chan[cstart[bottleneck] : cstart[bottleneck + 1]]:
+                if not unfrozen[f]:
+                    continue
+                unfrozen[f] = False
+                remaining -= 1
+                rates[f] = share
+                for c in lid_list[fstart[f] : fstart[f + 1]]:
+                    v = cap_left[c] - share
+                    if v < 0.0:
+                        v = 0.0
+                    cap_left[c] = v
+                    u = users[c] - 1
+                    users[c] = u
+                    shares[c] = v / u if u else inf
+        for flow, rate in zip(flows, rates):
+            flow.rate = rate
+
     def _push_deadlines(self, flows: List[Flow]) -> None:
-        """Recompute the absolute completion deadline of each flow."""
+        """Recompute the absolute completion deadline of each flow.
+
+        In batched mode only the *earliest* deadline of the group enters the
+        horizon heap: rates are frozen until the next event touching this
+        group, and that next event is at most this minimum away -- when its
+        timer fires the whole component is settled and re-planned, every
+        finished flow is detected by its byte count (never by heap
+        membership), and a fresh minimum is pushed.  One entry per connected
+        group instead of one per flow keeps the heap's size (and the
+        lazy-invalidation churn) proportional to the number of
+        recomputations, not to flows x recomputations.  The legacy path
+        (``batching=False``) pushes one entry per flow, as it always did.
+        """
         now = self.env.now
+        best_deadline = math.inf
+        best_flow = None
+        legacy = not self.batching
         for flow in flows:
             rate = flow.rate
             if rate <= 0.0:
@@ -430,8 +810,15 @@ class BandwidthSystem:
                 horizon = _EPSILON_TIME * 10
             deadline = now + horizon
             flow.deadline = deadline
+            if legacy:
+                self._heap_seq += 1
+                heapq.heappush(self._heap, (deadline, self._heap_seq, flow))
+            elif deadline < best_deadline:
+                best_deadline = deadline
+                best_flow = flow
+        if best_flow is not None:
             self._heap_seq += 1
-            heapq.heappush(self._heap, (deadline, self._heap_seq, flow))
+            heapq.heappush(self._heap, (best_deadline, self._heap_seq, best_flow))
 
     def _arm_timer(self) -> None:
         """Schedule the horizon timer at the earliest valid deadline."""
@@ -441,12 +828,17 @@ class BandwidthSystem:
             if flow in self._flows and flow.deadline == when:
                 break
             heapq.heappop(heap)
-            COUNTERS.bw_stale_deadlines += 1
-        if TRACER.enabled:
+            if self._count:
+                COUNTERS.bw_stale_deadlines += 1
+        if TRACER.enabled and self._gauges:
             TRACER.gauge("horizon-heap", "bandwidth", self.env.now, len(heap))
         if not self._flows:
             return
         if not heap:
+            if self._unplanned:
+                # Flows parked at this instant have no horizon *yet*; the
+                # end-of-instant flush plans them and re-runs this check.
+                return
             raise SimulationError("active flows but no finite completion horizon")
         self._timer_generation += 1
         generation = self._timer_generation
@@ -461,6 +853,7 @@ class BandwidthSystem:
     def _on_timer(self, generation: int) -> None:
         if generation != self._timer_generation:
             return  # superseded by a newer plan
+        t0 = perf_counter()
         now = self.env.now
         seeds: List[Flow] = []
         seen: Set[Flow] = set()
@@ -468,13 +861,15 @@ class BandwidthSystem:
         while heap and heap[0][0] <= now:
             when, _seq, flow = heapq.heappop(heap)
             if flow not in self._flows or flow.deadline != when:
-                COUNTERS.bw_stale_deadlines += 1
+                if self._count:
+                    COUNTERS.bw_stale_deadlines += 1
                 continue
             if flow not in seen:
                 seen.add(flow)
                 seeds.append(flow)
         if not seeds:
             self._arm_timer()
+            _SOLVER_WALL["seconds"] += perf_counter() - t0
             return
         channels: List[FairShareChannel] = []
         for flow in seeds:
@@ -485,6 +880,7 @@ class BandwidthSystem:
         component = self._component(channels)
         self._settle(component)
         self._replan(component)
+        _SOLVER_WALL["seconds"] += perf_counter() - t0
 
     def _verify_against_reference(self) -> None:
         expected = reference_allocation(self._flows)

@@ -344,6 +344,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: end-of-instant hooks (see add_flush_hook); empty unless a
+        #: subsystem batches same-instant work, so the common case pays one
+        #: truthiness check per step
+        self._flush_hooks: list[Callable[[], None]] = []
 
     # -- clock -------------------------------------------------------------------
 
@@ -401,10 +405,32 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register an end-of-instant hook.
+
+        Hooks run when the current simulated instant is *complete*: just
+        before the clock would advance past ``now`` (and, in :meth:`run`,
+        when the queue drains or only post-horizon events remain).  A hook
+        may schedule new events at the current instant; those are processed
+        before time advances, and the hooks run again afterwards -- so a
+        subsystem can coalesce all same-instant work into one batch without
+        ever observing a half-finished instant.
+        """
+        self._flush_hooks.append(hook)
+
+    def _flush_instant(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
+
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("cannot step an empty event queue")
+        if self._flush_hooks and self._queue[0][0] > self._now:
+            # The instant is over: everything scheduled at `now` has been
+            # processed.  Let batching subsystems finish it before the clock
+            # moves; anything they schedule at `now` is popped first.
+            self._flush_instant()
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
@@ -430,16 +456,27 @@ class Environment:
             target = until
             while not target.processed:
                 if not self._queue:
-                    raise SimulationError(
-                        f"simulation ran out of events before {target!r} fired"
-                    )
+                    # Batched work may be the only thing left at this
+                    # instant; flushing it can schedule the missing events.
+                    self._flush_instant()
+                    if not self._queue:
+                        raise SimulationError(
+                            f"simulation ran out of events before {target!r} fired"
+                        )
+                    continue
                 self.step()
             if target.ok:
                 return target.value
             raise target.value
         horizon = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while True:
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            if not self._flush_hooks:
+                break
+            self._flush_instant()
+            if not (self._queue and self._queue[0][0] <= horizon):
+                break
         if until is not None:
             self._now = max(self._now, horizon) if horizon != float("inf") else self._now
         return None

@@ -40,6 +40,12 @@ class SimCounters:
     events_popped: int = 0
     #: flows started through ``BandwidthSystem.transfer``
     bw_flows_started: int = 0
+    #: same-instant batches flushed (instants at which >= 1 flow started)
+    bw_batches: int = 0
+    #: flows started across all flushed batches
+    bw_batch_flows: int = 0
+    #: largest same-instant batch (in started flows) seen so far
+    bw_max_batch_flows: int = max_field()
     #: flows completed (last byte delivered)
     bw_flows_completed: int = 0
     #: component discoveries (BFS over channels shared by flows)

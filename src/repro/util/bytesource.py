@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -120,6 +121,8 @@ class LiteralBytes(ByteSource):
         return self._data[offset : offset + length]
 
     def slice(self, offset: int, length: int) -> ByteSource:
+        if offset == 0 and length == len(self._data):
+            return self  # immutable: a full-window slice is the source itself
         offset, length = self._check_window(offset, length)
         return LiteralBytes(self._data[offset : offset + length])
 
@@ -146,6 +149,8 @@ class ZeroBytes(ByteSource):
         return b"\x00" * length
 
     def slice(self, offset: int, length: int) -> ByteSource:
+        if offset == 0 and length == self._size:
+            return self
         offset, length = self._check_window(offset, length)
         return ZeroBytes(length)
 
@@ -200,6 +205,8 @@ class SyntheticBytes(ByteSource):
         return self._generate(self._origin + offset, length)
 
     def slice(self, offset: int, length: int) -> ByteSource:
+        if offset == 0 and length == self._size:
+            return self
         offset, length = self._check_window(offset, length)
         clone = SyntheticBytes.__new__(SyntheticBytes)
         clone._seed = self._seed
@@ -229,40 +236,47 @@ class _ConcatBytes(ByteSource):
     def size(self) -> int:
         return self._size
 
+    def _first_part(self, cursor: int) -> int:
+        """Index of the part containing ``cursor`` (parts never have size 0,
+        so the offsets are strictly increasing and bisect is exact)."""
+        return bisect_right(self._offsets, cursor) - 1 if cursor else 0
+
     def read(self, offset: int = 0, length: int | None = None) -> bytes:
         offset, length = self._check_window(offset, length)
         out = bytearray()
         remaining = length
         cursor = offset
-        for part, start in zip(self._parts, self._offsets):
-            if remaining == 0:
-                break
-            end = start + part.size
-            if cursor >= end or part.size == 0:
-                continue
-            local_off = max(0, cursor - start)
+        parts = self._parts
+        offsets = self._offsets
+        i = self._first_part(cursor)
+        while remaining and i < len(parts):
+            part = parts[i]
+            local_off = cursor - offsets[i]
             take = min(part.size - local_off, remaining)
             out += part.read(local_off, take)
             cursor += take
             remaining -= take
+            i += 1
         return bytes(out)
 
     def slice(self, offset: int, length: int) -> ByteSource:
+        if offset == 0 and length == self._size:
+            return self
         offset, length = self._check_window(offset, length)
         pieces: list[ByteSource] = []
         remaining = length
         cursor = offset
-        for part, start in zip(self._parts, self._offsets):
-            if remaining == 0:
-                break
-            end = start + part.size
-            if cursor >= end or part.size == 0:
-                continue
-            local_off = max(0, cursor - start)
+        parts = self._parts
+        offsets = self._offsets
+        i = self._first_part(cursor)
+        while remaining and i < len(parts):
+            part = parts[i]
+            local_off = cursor - offsets[i]
             take = min(part.size - local_off, remaining)
             pieces.append(part.slice(local_off, take))
             cursor += take
             remaining -= take
+            i += 1
         return concat(pieces)
 
     def fingerprint(self) -> str:

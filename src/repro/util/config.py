@@ -185,6 +185,43 @@ class PVFSSpec:
 
 
 @dataclass(frozen=True)
+class SolverConfig:
+    """Configuration of the max-min fair bandwidth solver.
+
+    The solver has three independently addressable behaviours, all of which
+    used to be constructor arguments threaded by hand:
+
+    * ``verify`` -- re-derive every rate through the global reference solver
+      after each recomputation and raise on any mismatch (slow; the safety
+      net of the equivalence test suite),
+    * ``batching`` -- coalesce all flow starts that occur at one simulated
+      instant into a single end-of-instant recomputation per connected
+      component instead of one settle+replan per ``transfer()`` call.  Off
+      reproduces the purely scalar incremental engine event for event;
+      both paths produce bit-identical rows,
+    * ``instrumentation`` -- ``"full"`` (work counters + tracer gauges, the
+      default), ``"counters"`` (suppress the solver's per-allocation tracer
+      gauges) or ``"off"`` (also suppress the solver's work counters).
+
+    Reaching the solver from a scenario or the CLI needs no code edits:
+    ``--override cluster.solver.verify=true`` (or the ``--solver-verify`` /
+    ``--solver-no-batch`` convenience flags) follow the same dotted-path
+    override machinery as every other :class:`ClusterSpec` field.
+    """
+
+    verify: bool = False
+    batching: bool = True
+    instrumentation: str = "full"
+
+    def validate(self) -> None:
+        if self.instrumentation not in ("off", "counters", "full"):
+            raise ConfigurationError(
+                f"unknown solver instrumentation level {self.instrumentation!r} "
+                "(expected 'off', 'counters' or 'full')"
+            )
+
+
+@dataclass(frozen=True)
 class CheckpointSpec:
     """Knobs of the checkpoint-restart protocols."""
 
@@ -224,6 +261,9 @@ class ClusterSpec:
     blobseer: BlobSeerSpec = field(default_factory=BlobSeerSpec)
     pvfs: PVFSSpec = field(default_factory=PVFSSpec)
     checkpoint: CheckpointSpec = field(default_factory=CheckpointSpec)
+    #: bandwidth-solver behaviour (verification, same-instant batching,
+    #: instrumentation level); never changes any result row
+    solver: SolverConfig = field(default_factory=SolverConfig)
     #: execution-time jitter between "identical" VMs, as a fraction of the
     #: nominal duration of each activity (drives adaptive prefetching).
     jitter: float = 0.03
@@ -238,6 +278,7 @@ class ClusterSpec:
         self.blobseer.validate()
         self.pvfs.validate()
         self.checkpoint.validate()
+        self.solver.validate()
         if not (0.0 <= self.jitter < 1.0):
             raise ConfigurationError(f"invalid jitter: {self.jitter}")
 

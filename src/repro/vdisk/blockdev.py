@@ -72,14 +72,35 @@ class _BlockMap:
             yield index, lo - block_start, hi - lo
 
     def read(self, offset: int, length: int, background) -> ByteSource:
-        """Read a window, falling back to ``background(offset, length)`` for holes."""
+        """Read a window, falling back to ``background(offset, length)`` for holes.
+
+        Runs of consecutive missing blocks issue a *single* ranged background
+        read: the fallback's content and accounting are both additive over
+        contiguous windows, and one call per hole instead of one per block is
+        what keeps restoring a mostly-remote image from paying a full
+        plan/fetch round-trip per 256 KB block.
+        """
         pieces: List[ByteSource] = []
+        hole_start = 0
+        hole_len = 0
         for index, start, span in self.window_blocks(offset, length):
             block = self.blocks.get(index)
             if block is None:
-                pieces.append(background(index * self.block_size + start, span))
-            else:
-                pieces.append(self._window_of_block(block, start, span, index, background))
+                begin = index * self.block_size + start
+                if hole_len and hole_start + hole_len == begin:
+                    hole_len += span
+                else:
+                    if hole_len:
+                        pieces.append(background(hole_start, hole_len))
+                    hole_start = begin
+                    hole_len = span
+                continue
+            if hole_len:
+                pieces.append(background(hole_start, hole_len))
+                hole_len = 0
+            pieces.append(self._window_of_block(block, start, span, index, background))
+        if hole_len:
+            pieces.append(background(hole_start, hole_len))
         return concat(pieces) if pieces else LiteralBytes(b"")
 
     def _window_of_block(

@@ -198,6 +198,29 @@ class TestSessionValidation:
         with pytest.raises(ConfigurationError, match="already runs"):
             session.deploy("qcow2-disk", n=1)
 
+    @pytest.mark.parametrize("seconds", [0, 0.0, -1.5])
+    def test_advance_rejects_non_positive_durations(self, seconds):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        before = session.now
+        with pytest.raises(ValueError, match="non-positive duration"):
+            session.advance(seconds)
+        assert session.now == before  # the clock did not move
+
+    def test_drive_on_dead_cloud_rejected(self):
+        session = Session.from_spec(SMALL)
+        session.deploy("blobcr", n=1)
+        for node in session.cloud.compute_nodes:
+            node.fail()
+
+        def _noop():
+            yield session.cloud.env.timeout(1.0)
+
+        with pytest.raises(ValueError, match="no live compute nodes"):
+            session.drive(_noop())
+        with pytest.raises(ValueError, match="no live compute nodes"):
+            session.advance(5.0)
+
     def test_accessors_before_deploy_rejected(self):
         session = Session.from_spec(SMALL)
         with pytest.raises(ConfigurationError, match="call deploy"):
@@ -258,19 +281,19 @@ class TestScenarioParity:
         assert default.rows != scaled.rows
 
 
-class TestHarnessDeprecation:
-    def test_harness_import_warns(self):
+class TestHarnessRetirement:
+    def test_shim_module_is_gone(self):
+        # The deprecated re-export shim was removed in 0.4.0; the scenario
+        # layer is the only supported surface.
         sys.modules.pop("repro.experiments.harness", None)
-        with pytest.warns(DeprecationWarning, match="repro.experiments.harness"):
+        with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.experiments.harness")
 
-    def test_shim_still_reexports(self):
-        with pytest.warns(DeprecationWarning):
-            sys.modules.pop("repro.experiments.harness", None)
-            harness = importlib.import_module("repro.experiments.harness")
+    def test_scenario_layer_is_the_supported_surface(self):
+        from repro.scenarios.results import ExperimentResult  # noqa: F401
         from repro.scenarios.workloads import make_deployment
 
-        assert harness.make_deployment is make_deployment
+        assert callable(make_deployment)
 
 
 class TestSharedHypervisorCache:

@@ -148,6 +148,36 @@ class TestOverridesAndSeed:
         assert document["environment"]["seed"] == 7
         assert document["environment"]["overrides"] == []
 
+    def test_solver_flags_fold_into_recorded_overrides(self, tmp_path, capsys):
+        """--solver-verify / --solver-no-batch are shorthand for the
+        cluster.solver.* overrides, so the artifact records them."""
+        artifact = tmp_path / "artifact.json"
+        argv = [
+            "--cells",
+            "fig2:BlobCR-app:4:50MB",
+            "--no-progress",
+            "--solver-verify",
+            "--solver-no-batch",
+            "--artifact",
+            str(artifact),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        document = load_artifact(str(artifact))
+        assert document["environment"]["overrides"] == [
+            "cluster.solver.verify=true",
+            "cluster.solver.batching=false",
+        ]
+
+    def test_solver_no_batch_rows_match_default(self, capsys):
+        argv = ["--cells", "fig2:BlobCR-app:4:50MB", "--no-progress", "--json", "-"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--solver-no-batch"]) == 0
+        scalar_out = capsys.readouterr().out
+        rows = lambda out: json.loads(out[out.index("{"):])["fig2"]["rows"]  # noqa: E731
+        assert rows(default_out) == rows(scalar_out)
+
     def test_cluster_override_applies(self, capsys):
         argv = [
             "--cells",

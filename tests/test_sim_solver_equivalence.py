@@ -15,6 +15,7 @@ the two agree *exactly* (float equality, not approximately):
   are busy (the strongest observable form of component independence).
 """
 
+import json
 import math
 
 import pytest
@@ -23,6 +24,7 @@ from hypothesis import strategies as st
 
 from repro.sim import BandwidthSystem, Environment
 from repro.sim.bandwidth import reference_allocation
+from repro.util.config import SolverConfig
 from repro.util.errors import SimulationError
 
 
@@ -106,6 +108,132 @@ def test_incremental_rates_match_reference_under_channel_failure(topology, fail_
     env.process(killer())
     env.run()
     assert len(outcomes) == len(flow_specs)
+
+
+# -- same-instant bursts: batched vs scalar vs reference -------------------------------
+
+
+@st.composite
+def burst_topologies(draw):
+    """A fabric plus a schedule where whole groups of flows start at the
+    same simulated instant (the case the batched end-of-instant flush
+    coalesces into one recomputation per connected component).
+
+    Both the burst sizes ``k`` and the component shapes (which channels each
+    flow crosses) are randomised, so bursts land on one component, several
+    disjoint ones, and everything in between.
+    """
+    n_channels = draw(st.integers(2, 8))
+    capacities = [
+        draw(st.floats(1.0, 1e4, allow_nan=False, allow_infinity=False))
+        for _ in range(n_channels)
+    ]
+    instants = draw(
+        st.lists(st.floats(0.0, 20.0), min_size=1, max_size=3, unique=True)
+    )
+    flows = []
+    for start in instants:
+        k = draw(st.integers(1, 10))
+        for _ in range(k):
+            crossed = draw(
+                st.lists(
+                    st.integers(0, n_channels - 1), min_size=1, max_size=3, unique=True
+                )
+            )
+            size = draw(st.floats(1.0, 1e5))
+            flows.append((crossed, size, start))
+    return capacities, flows
+
+
+def run_schedule(capacities, flow_specs, *, batching, verify=False):
+    """Drive a schedule to completion; returns {flow index: completion time}."""
+    env = Environment()
+    bw = BandwidthSystem(env, config=SolverConfig(verify=verify, batching=batching))
+    channels = [bw.channel(cap, f"ch{i}") for i, cap in enumerate(capacities)]
+    done = {}
+
+    def mover(i, crossed, size, start):
+        yield env.timeout(start)
+        yield bw.transfer(size, [channels[c] for c in crossed], label=f"f{i}")
+        done[i] = env.now
+
+    for i, (crossed, size, start) in enumerate(flow_specs):
+        env.process(mover(i, crossed, size, start))
+    env.run()
+    return done
+
+
+class TestSameInstantBursts:
+    @settings(max_examples=50, deadline=None)
+    @given(topology=burst_topologies())
+    def test_batched_bursts_are_reference_exact(self, topology):
+        """verify=True re-derives every batched allocation through the global
+        reference solver and raises at the first mismatching float."""
+        capacities, flow_specs = topology
+        done = run_schedule(capacities, flow_specs, batching=True, verify=True)
+        assert len(done) == len(flow_specs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(topology=burst_topologies())
+    def test_batched_and_scalar_paths_bit_identical(self, topology):
+        """The batched flush and the per-event scalar engine must agree on
+        every completion time exactly -- not approximately."""
+        capacities, flow_specs = topology
+        batched = run_schedule(capacities, flow_specs, batching=True)
+        scalar = run_schedule(capacities, flow_specs, batching=False)
+        assert batched == scalar  # exact float equality
+
+    def test_burst_coalesces_into_one_batch(self):
+        from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+        counters_reset()
+        env = Environment()
+        bw = BandwidthSystem(env, config=SolverConfig())
+        link = bw.channel(100.0, "link")
+        for i in range(8):
+            # All eight transfers are issued at t=0: one flush, one batch.
+            bw.transfer(1000.0 + i, [link], label=f"b{i}")
+        env.run()
+        after = counters_snapshot()
+        assert after.bw_flows_completed == 8
+        assert after.bw_max_batch_flows == 8
+
+    def test_disjoint_burst_flushes_per_component(self):
+        """A same-instant burst across disjoint fabrics is replanned once
+        per connected component, never globally."""
+        from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+        counters_reset()
+        env = Environment()
+        bw = BandwidthSystem(env, config=SolverConfig(verify=True))
+        disks = [bw.channel(50.0, f"disk{i}") for i in range(4)]
+        for i, disk in enumerate(disks):
+            bw.transfer(500.0 + 10.0 * i, [disk], label=f"io{i}")
+        env.run()
+        after = counters_snapshot()
+        assert after.bw_flows_completed == 4
+        # One flush covers the whole instant (all four starts)...
+        assert after.bw_batches == 1
+        assert after.bw_max_batch_flows == 4
+        # ...but each disk is its own component, so no single recomputation
+        # ever spans more than one flow.
+        assert after.bw_max_component_flows == 1
+
+
+class TestBatchingRowParity:
+    def test_solver_no_batch_rows_byte_identical_on_reduced_suite(self):
+        """``--solver-no-batch`` (cluster.solver.batching=false) must yield
+        rows byte-identical to the default batched engine across the whole
+        reduced scale suite."""
+        from repro.api.session import Session
+
+        batched = Session().run_scenario("scale")
+        scalar = Session().run_scenario(
+            "scale", overrides={"cluster.solver.batching": False}
+        )
+        assert json.dumps(batched.rows, sort_keys=True) == json.dumps(
+            scalar.rows, sort_keys=True
+        )
 
 
 # -- the reference solver itself -------------------------------------------------------
@@ -209,6 +337,7 @@ class TestComponentPartitioning:
         env, bw = build_system(verify=False)
         link = bw.channel(10.0, "link")
         bw.transfer(100.0, [link])
+        bw._flush_pending()  # plan the flow; a parked flow may legally idle
         # Force an impossible state: zero out the rate behind the engine's
         # back and ask it to replan.
         (flow,) = bw._flows

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI A/B gate for the batched bandwidth solver.
+
+Runs one paper-scale cell (``scale:BlobCR-app:512`` by default) twice in the
+same process -- once with same-instant batching + the vectorised progressive
+filling loop (the default engine) and once with
+``cluster.solver.batching=false`` (the per-event scalar engine) -- and then
+enforces the two contracts the batched redesign makes:
+
+* **rows are byte-identical**: the solver configuration is a pure
+  performance knob; any divergence in the merged scenario rows fails the
+  gate immediately,
+* **the batched solver path is faster**: wall-clock seconds spent inside the
+  solver entry points (measured by
+  :func:`repro.sim.bandwidth.solver_wall_seconds`, so the comparison is not
+  diluted by the application model, which is identical on both sides) must
+  improve by at least ``--min-speedup`` (default 1.5x).
+
+Both runs are written out as JSON artifacts (``--out-batched`` /
+``--out-scalar``) so CI can upload them for inspection.  Typical CI use::
+
+    python tools/bench_solver_ab.py \
+        --cell scale:BlobCR-app:512 \
+        --out-batched bench-solver-batched.json \
+        --out-scalar bench-solver-scalar.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def run_cell(cell: str, *, batching: bool) -> dict:
+    """Run one paper-scale cell and return rows + timing."""
+    from repro.api.session import Session
+    from repro.sim.bandwidth import solver_wall_reset, solver_wall_seconds
+
+    overrides = [] if batching else ["cluster.solver.batching=false"]
+    solver_wall_reset()
+    started = time.perf_counter()
+    report = Session().run_scenario(
+        "scale", cells=[cell], overrides=overrides, paper_scale=True
+    )
+    wall = time.perf_counter() - started
+    return {
+        "schema": "blobcr-repro/solver-ab",
+        "cell": cell,
+        "batching": batching,
+        "wall_seconds": wall,
+        "solver_seconds": solver_wall_seconds(),
+        "rows": report.rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cell", default="scale:BlobCR-app:512")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="required solver-path speedup of batched over scalar (default 1.5)",
+    )
+    parser.add_argument("--out-batched", default=None, help="batched run artifact path")
+    parser.add_argument("--out-scalar", default=None, help="scalar run artifact path")
+    args = parser.parse_args(argv)
+
+    print(f"[solver-ab] cell={args.cell}", flush=True)
+    scalar = run_cell(args.cell, batching=False)
+    print(
+        f"[solver-ab] scalar:  wall={scalar['wall_seconds']:.2f}s "
+        f"solver={scalar['solver_seconds']:.2f}s",
+        flush=True,
+    )
+    batched = run_cell(args.cell, batching=True)
+    print(
+        f"[solver-ab] batched: wall={batched['wall_seconds']:.2f}s "
+        f"solver={batched['solver_seconds']:.2f}s",
+        flush=True,
+    )
+
+    for path, payload in ((args.out_batched, batched), (args.out_scalar, scalar)):
+        if path:
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"[solver-ab] wrote {path}")
+
+    failures = []
+    if json.dumps(batched["rows"], sort_keys=True) != json.dumps(
+        scalar["rows"], sort_keys=True
+    ):
+        failures.append(
+            "rows diverge between the batched and scalar solver paths; "
+            "the solver configuration must not change results"
+        )
+    speedup = scalar["solver_seconds"] / max(batched["solver_seconds"], 1e-9)
+    print(f"[solver-ab] solver-path speedup: {speedup:.2f}x")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"batched solver path is only {speedup:.2f}x faster than scalar "
+            f"(required: >= {args.min_speedup:.2f}x)"
+        )
+
+    for failure in failures:
+        print(f"[solver-ab] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[solver-ab] OK: rows identical, speedup gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
