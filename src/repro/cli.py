@@ -119,6 +119,13 @@ def _add_selection_arguments(parser: argparse.ArgumentParser, names: List[str], 
         "solver (A/B baseline; shorthand for --override cluster.solver.batching=false)",
     )
     parser.add_argument(
+        "--solver-no-persist",
+        action="store_true",
+        help="disable persistent component/array maintenance across events and "
+        "rediscover every component per recomputation (A/B baseline; shorthand "
+        "for --override cluster.solver.persistence=false)",
+    )
+    parser.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress the per-cell progress lines on stderr",
@@ -170,27 +177,37 @@ def _build_parser(names: List[str]) -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_run_inputs(
-    parser: argparse.ArgumentParser, args: argparse.Namespace, names: List[str]
+def resolve_run_inputs(
+    names: List[str],
+    experiments: List[str],
+    cells: List[str],
+    overrides: List[str],
+    *,
+    paper_scale: bool = False,
+    seed: Optional[int] = None,
+    solver_verify: bool = False,
+    solver_no_batch: bool = False,
+    solver_no_persist: bool = False,
 ) -> Tuple[List[str], List[CellSelector], RunConfig]:
     """Validate experiments/selectors/overrides and fold them into a RunConfig.
 
-    Shared between the run and profile entry points so ``profile`` accepts
-    exactly the selection surface of a normal run (and errors identically).
+    The one selection pipeline behind ``blobcr-repro run``/``profile``/
+    ``trace`` *and* out-of-process harnesses (``tools/bench_solver_ab.py``):
+    anything accepted here is accepted identically everywhere, by
+    construction.  Raises :class:`~repro.util.errors.ConfigurationError` on
+    unknown experiments, foreign selectors or misdirected overrides; the CLI
+    wrapper converts that into ``parser.error``.
     """
-    unknown = [e for e in args.experiments if e not in names]
+    unknown = [e for e in experiments if e not in names]
     if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+        raise ConfigurationError(f"unknown experiment(s): {', '.join(unknown)}")
 
-    try:
-        selectors = parse_selectors(args.cells)
-    except ConfigurationError as exc:
-        parser.error(str(exc))
+    selectors = parse_selectors(cells)
     foreign = sorted({s.experiment for s in selectors if s.experiment not in names})
     if foreign:
-        parser.error(f"unknown experiment(s) in --cells: {', '.join(foreign)}")
+        raise ConfigurationError(f"unknown experiment(s) in --cells: {', '.join(foreign)}")
 
-    experiments = list(args.experiments)
+    experiments = list(experiments)
     if not experiments:
         if selectors:
             wanted = {s.experiment for s in selectors}
@@ -199,36 +216,57 @@ def _resolve_run_inputs(
             experiments = list(names)
     outside = [s.text for s in selectors if s.experiment not in experiments]
     if outside:
-        parser.error(
+        raise ConfigurationError(
             f"--cells selector(s) outside the requested experiments: {', '.join(outside)}"
         )
 
     # The solver switches are folded into the override stream (rather than
     # into the spec directly) so every artifact records exactly which solver
     # configuration produced it.
-    if getattr(args, "solver_verify", False):
-        args.override.append("cluster.solver.verify=true")
-    if getattr(args, "solver_no_batch", False):
-        args.override.append("cluster.solver.batching=false")
+    if solver_verify:
+        overrides.append("cluster.solver.verify=true")
+    if solver_no_batch:
+        overrides.append("cluster.solver.batching=false")
+    if solver_no_persist:
+        overrides.append("cluster.solver.persistence=false")
 
+    # One shared pipeline with repro.api: validate every override (the
+    # misdirected ones would be silently inert yet recorded in the
+    # artifact) and fold the cluster-level ones plus --seed into the
+    # run's cluster spec.
+    cluster_spec = resolve_cluster_spec(overrides, names, experiments, seed=seed)
+
+    config = RunConfig(
+        paper_scale=paper_scale,
+        spec=cluster_spec,
+        overrides=tuple(overrides),
+        seed=seed,
+    )
+    return experiments, selectors, config
+
+
+def _resolve_run_inputs(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, names: List[str]
+) -> Tuple[List[str], List[CellSelector], RunConfig]:
+    """:func:`resolve_run_inputs` over an argparse namespace.
+
+    Shared between the run, profile and trace entry points so all three
+    accept exactly the same selection surface (and error identically).
+    """
     try:
-        # One shared pipeline with repro.api: validate every override (the
-        # misdirected ones would be silently inert yet recorded in the
-        # artifact) and fold the cluster-level ones plus --seed into the
-        # run's cluster spec.
-        cluster_spec = resolve_cluster_spec(
-            args.override, names, experiments, seed=args.seed
+        return resolve_run_inputs(
+            names,
+            args.experiments,
+            args.cells,
+            args.override,
+            paper_scale=args.paper_scale,
+            seed=args.seed,
+            solver_verify=getattr(args, "solver_verify", False),
+            solver_no_batch=getattr(args, "solver_no_batch", False),
+            solver_no_persist=getattr(args, "solver_no_persist", False),
         )
     except ConfigurationError as exc:
         parser.error(str(exc))
-
-    config = RunConfig(
-        paper_scale=args.paper_scale,
-        spec=cluster_spec,
-        overrides=tuple(args.override),
-        seed=args.seed,
-    )
-    return experiments, selectors, config
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -65,6 +65,39 @@ first-occurrence bottleneck as the scalar first-strict-minimum scan, and
 every allocation decision is bit-identical to the scalar path (mirroring
 what PR 5 did for ``ProviderManager.place``).
 
+Persistent solver state
+-----------------------
+
+With :class:`~repro.util.config.SolverConfig` ``persistence`` on (the
+default, effective only together with ``batching``), component structure and
+the vectorised solver's arrays survive *across* events instead of being
+rediscovered per recomputation:
+
+* **connectivity** lives in an incremental union-find over channels: every
+  busy channel points at its :class:`_Component`; a flow attach unions the
+  components of its channels (the smaller side is relabelled); a detach that
+  disconnects the graph is recovered through the same post-detach
+  ``_live_groups`` discovery the heap bookkeeping already needed -- union-find
+  cannot split, so the split-off groups become fresh, lazily rebuilt
+  components (epoch-tagged so stale slot assignments can never be read);
+* **solver arrays** (per-edge channel slots, per-flow channel counts,
+  per-slot capacities and encounter keys) are kept per component and updated
+  by deltas: row/slot appends on attach, one boolean-mask compaction per
+  detaching replan.  A replan over a clean component is just the
+  water-filling rounds over already-materialised arrays -- no BFS, no
+  per-flow Python assembly;
+* the *encounter order* that decides bottleneck ties is reproduced exactly:
+  each channel carries a lazy min-heap of ``(flow index, tuple position)``
+  keys of its attached flows, so the component always knows every channel's
+  first-encounter key even as earlier flows leave; sorting the slot keys per
+  allocation yields precisely the reference solver's dict insertion order.
+
+Rates stay bit-identical to the per-event BFS path and to
+:func:`reference_allocation` -- ``verify=True`` additionally re-checks the
+persistent connectivity and encounter order against a fresh BFS on every
+replan.  ``--solver-no-persist`` (``cluster.solver.persistence=false``) pins
+the PR 7 engine, which the CI three-way A/B gate runs against.
+
 :func:`reference_allocation` retains the global water-filling solver as an
 executable specification; ``BandwidthSystem(verify=True)`` cross-checks every
 incremental step against it (rates must match *exactly*, not approximately),
@@ -92,6 +125,14 @@ _EPSILON_TIME = 1e-12
 #: per-call overhead loses to a handful of dict operations (both paths are
 #: bit-identical, so the threshold is purely a performance knob)
 _VECTOR_MIN_FLOWS = 16
+#: encounter keys encode (flow index, channel-tuple position) as
+#: ``index << _ENC_SHIFT | position`` -- a single int64 whose natural order
+#: is the lexicographic order of the pair
+_ENC_SHIFT = 20
+#: slot-key sentinel for a channel that left its component (its edges are
+#: compacted away with its last flow, so a dead slot never reaches the
+#: allocation -- the sentinel only keeps it out of the encounter order)
+_DEAD_KEY = np.iinfo(np.int64).max
 
 #: process-global wall-clock seconds spent inside the solver's entry points
 #: (planning a started flow, end-of-instant flushes, horizon timers, failure
@@ -114,7 +155,19 @@ def solver_wall_seconds() -> float:
 class FairShareChannel:
     """A shared capacity (bytes/s) that concurrent flows divide fairly."""
 
-    __slots__ = ("system", "capacity", "name", "index", "flows", "_carried_completed")
+    __slots__ = (
+        "system",
+        "capacity",
+        "name",
+        "index",
+        "flows",
+        "_carried_completed",
+        "comp",
+        "_slot",
+        "_slot_epoch",
+        "_enc_entry",
+        "_key_heap",
+    )
 
     def __init__(self, system: "BandwidthSystem", capacity: float, name: str = ""):
         if capacity <= 0:
@@ -128,6 +181,15 @@ class FairShareChannel:
         self.flows: set[Flow] = set()
         #: exact bytes delivered by flows that already left this channel
         self._carried_completed: float = 0.0
+        #: persistent-solver state (see the module docstring): owning
+        #: component while busy, slot in its arrays (valid only while
+        #: ``_slot_epoch`` matches the component's epoch), current
+        #: first-encounter key entry and the lazy min-heap backing it
+        self.comp: Optional["_Component"] = None
+        self._slot = -1
+        self._slot_epoch = -1
+        self._enc_entry: Optional[Tuple[int, "Flow"]] = None
+        self._key_heap: List[Tuple[int, "Flow"]] = []
 
     @property
     def active_flows(self) -> int:
@@ -266,6 +328,115 @@ def reference_allocation(flows: Iterable["Flow"]) -> Dict["Flow", float]:
     return rates
 
 
+class _Component:
+    """One live connected component of the flow/channel sharing graph.
+
+    Exists only under ``SolverConfig.persistence``: the union-find cell that
+    every busy channel points at, plus the flat solver arrays that survive
+    between recomputations.  ``flows`` is always exact and sorted by flow
+    index; the arrays mirror it only while ``dirty`` is false (merges and
+    splits mark them stale, and the next vector allocation rebuilds them --
+    ``epoch`` is a globally unique tag so a channel's ``_slot`` can never be
+    read against arrays it was not assigned for).
+
+    Array layout (lengths ``n_rows`` / ``n_edges`` / ``n_slots``; the
+    buffers over-allocate and double on growth):
+
+    * ``counts[i]`` -- number of channels of ``flows[i]``;
+    * ``e_slot`` -- per-edge channel slot, rows concatenated in flow order
+      (the CSR flow->channel membership, ``counts`` being the row lengths);
+    * ``caps[s]`` / ``keys[s]`` -- capacity and current first-encounter key
+      of the channel occupying slot ``s`` (``_DEAD_KEY`` once it left).
+    """
+
+    __slots__ = (
+        "ident",
+        "epoch",
+        "flows",
+        "dirty",
+        "counts",
+        "e_slot",
+        "caps",
+        "keys",
+        "n_rows",
+        "n_edges",
+        "n_slots",
+        "dead_slots",
+    )
+
+    def __init__(self, ident: int, epoch: int):
+        self.ident = ident
+        self.epoch = epoch
+        self.flows: List[Flow] = []
+        self.dirty = True  # arrays are built lazily, on first vector allocation
+        self.counts: Optional[np.ndarray] = None
+        self.e_slot: Optional[np.ndarray] = None
+        self.caps: Optional[np.ndarray] = None
+        self.keys: Optional[np.ndarray] = None
+        self.n_rows = 0
+        self.n_edges = 0
+        self.n_slots = 0
+        self.dead_slots = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dirty" if self.dirty else f"{self.n_slots - self.dead_slots} slot(s)"
+        return f"<_Component #{self.ident} {len(self.flows)} flow(s), {state}>"
+
+
+def _fill_rounds(
+    shares: np.ndarray,
+    cap_left: List[float],
+    users: List[int],
+    lid_list: List[int],
+    fstart: List[int],
+    by_chan: List[int],
+    cstart: List[int],
+    n: int,
+) -> List[float]:
+    """The water-filling round loop shared by both vectorised assemblies.
+
+    ``shares`` is the per-channel fair share in encounter order (a numpy
+    array, mutated in place); the Python-side mirrors carry residual
+    capacity, user counts, the per-edge channel ids (rows delimited by
+    ``fstart``) and the edges grouped by channel (``by_chan`` delimited by
+    ``cstart``, flows in index order within each group).  The loop replays
+    the reference solver's operation sequence exactly -- first-occurrence
+    ``argmin`` bottleneck, per-flow decrements with an immediate clamp --
+    so its output bits never depend on which assembly produced the inputs.
+
+    The loop is hybrid on purpose: numpy picks the bottleneck over all k
+    channels in one ``argmin``, then plain-Python scalar updates touch only
+    the few flows/channels the freeze changed (the all-array variant spent
+    more time on per-round numpy dispatch than on the data).
+    """
+    rates = [math.inf] * n
+    unfrozen = [True] * n
+    remaining = n
+    inf = math.inf
+    while remaining:
+        bottleneck = int(shares.argmin())
+        share = float(shares[bottleneck])
+        if share == inf:
+            # Remaining flows cross no constrained channel (the scalar
+            # solver's bottleneck-is-None branch); rates pre-filled inf.
+            break
+        for f in by_chan[cstart[bottleneck] : cstart[bottleneck + 1]]:
+            if not unfrozen[f]:
+                continue
+            unfrozen[f] = False
+            remaining -= 1
+            rates[f] = share
+            for c in lid_list[fstart[f] : fstart[f + 1]]:
+                v = cap_left[c] - share
+                if v < 0.0:
+                    v = 0.0
+                cap_left[c] = v
+                u = users[c] - 1
+                users[c] = u
+                shares[c] = v / u if u else inf
+    return rates
+
+
 class BandwidthSystem:
     """Owner of all channels and flows of one simulation environment.
 
@@ -293,6 +464,13 @@ class BandwidthSystem:
         self.config = config
         self.verify = config.verify if verify is None else verify
         self.batching = config.batching
+        #: persistent component maintenance (union-find + delta-updated
+        #: arrays); only effective together with batching -- the legacy
+        #: scalar engine is kept untouched as the executable oracle
+        self.persist = config.batching and config.persistence
+        #: globally unique epoch source for component array generations
+        self._comp_epoch = 0
+        self._comp_ident = 0
         #: instrumentation gates derived from the config level; results are
         #: independent of both (counters/gauges are never read by the model)
         self._count = config.instrumentation != "off"
@@ -389,6 +567,10 @@ class BandwidthSystem:
             flow.pending = True
             self._unplanned += 1
             self._pending.append(flow)
+            if self.persist:
+                t0 = perf_counter()
+                self._p_attach(flow)
+                _SOLVER_WALL["seconds"] += perf_counter() - t0
             return done
         # Starting a flow can merge components: settle everything reachable
         # from any of its channels before the rates change.
@@ -418,18 +600,29 @@ class BandwidthSystem:
         if not channel.flows:
             return 0
         t0 = perf_counter()
-        component = self._component([channel])
+        comp = None
+        if self.persist:
+            comp = channel.comp
+            component = comp.flows
+            self._count_component_persist(comp)
+        else:
+            component = self._component([channel])
         self._settle(component)
         victims = sorted(channel.flows, key=lambda f: f.index)
+        keep = [channel not in f.channels for f in component] if comp is not None else None
         for flow in victims:
             # Aborted flows contribute what they actually delivered.
             self._detach(flow, flow.size - flow.remaining)
             if not flow.done.triggered:
                 flow.done.fail(exception)
         survivors = [f for f in component if channel not in f.channels]
+        if comp is not None:
+            if not comp.dirty:
+                self._p_remove_rows(comp, keep)
+            comp.flows = survivors
         # Removing the failed channel's flows can leave the survivors in
         # several disconnected groups even though nobody *finished*.
-        self._replan(survivors, may_split=True)
+        self._replan(survivors, may_split=True, comp=comp)
         _SOLVER_WALL["seconds"] += perf_counter() - t0
         return len(victims)
 
@@ -476,12 +669,24 @@ class BandwidthSystem:
                 COUNTERS.bw_max_batch_flows = len(pending)
         if self._gauges and TRACER.enabled:
             TRACER.observe("bw.batch_flows", len(pending))
-        for flow in pending:
-            if not flow.pending or flow not in self._flows:
-                continue
-            component = self._component(flow.channels)
-            self._settle(component)
-            self._replan(component)
+        if self.persist:
+            for flow in pending:
+                if not flow.pending or flow not in self._flows:
+                    continue
+                # O(1) component lookup: the attach already unioned this
+                # flow's channels into one persistent component.
+                comp = flow.channels[0].comp
+                self._count_component_persist(comp)
+                component = comp.flows
+                self._settle(component)
+                self._replan(component, comp=comp)
+        else:
+            for flow in pending:
+                if not flow.pending or flow not in self._flows:
+                    continue
+                component = self._component(flow.channels)
+                self._settle(component)
+                self._replan(component)
         _SOLVER_WALL["seconds"] += perf_counter() - t0
 
     def _component(self, channels: Iterable[FairShareChannel]) -> List[Flow]:
@@ -608,23 +813,58 @@ class BandwidthSystem:
         if flow.pending:  # aborted before its instant was flushed
             flow.pending = False
             self._unplanned -= 1
+        persist = self.persist
         for chan in flow.channels:
             flows = chan.flows
             if flow in flows:
                 flows.discard(flow)
                 if not flows:
                     self._busy_channels -= 1
+                if persist:
+                    comp = chan.comp
+                    if not flows:
+                        # Last flow gone: the channel leaves its component
+                        # (an empty channel is an isolated vertex).
+                        if not comp.dirty and chan._slot_epoch == comp.epoch:
+                            comp.keys[chan._slot] = _DEAD_KEY
+                            comp.dead_slots += 1
+                        chan.comp = None
+                        chan._enc_entry = None
+                        chan._key_heap.clear()
+                    elif chan._enc_entry[1] is flow:
+                        # The first-encounterer left: pop lazily until the
+                        # heap top belongs to a still-attached flow.  Stale
+                        # entries below the top always carry larger keys, so
+                        # the top *is* the channel's current encounter key.
+                        heap = chan._key_heap
+                        heapq.heappop(heap)
+                        while heap[0][1] not in flows:
+                            heapq.heappop(heap)
+                        entry = heap[0]
+                        chan._enc_entry = entry
+                        if not comp.dirty and chan._slot_epoch == comp.epoch:
+                            comp.keys[chan._slot] = entry[0]
             chan._carried_completed += delivered
 
-    def _replan(self, component: List[Flow], may_split: bool = False) -> None:
+    def _replan(
+        self,
+        component: List[Flow],
+        may_split: bool = False,
+        comp: Optional[_Component] = None,
+    ) -> None:
         """Complete finished flows, re-allocate the rest, re-arm the timer.
 
         ``component`` must already be settled and sorted by flow index.
         ``may_split`` marks callers (channel failure) whose ``component`` may
         already span several connected groups even without a completion.
+        Under persistence ``comp`` is the owning persistent component and
+        ``component`` must equal ``comp.flows``; completions are applied to
+        its arrays as one mask compaction, and an actual disconnection
+        re-homes the surviving groups into fresh components.
         """
         live: List[Flow] = []
         detached = may_split
+        keep: Optional[List[bool]] = [] if comp is not None else None
         for flow in component:
             if flow.remaining <= _EPSILON_BYTES:  # .finished, inlined (hot)
                 self._detach(flow, flow.size)
@@ -636,15 +876,23 @@ class BandwidthSystem:
                 if TRACER.enabled and self._gauges:
                     TRACER.observe("flow.bytes", flow.size)
                     TRACER.observe("flow.latency_s", self.env.now - flow.started_at)
+                if keep is not None:
+                    keep.append(False)
                 if not flow.done.triggered:
                     flow.done.succeed(flow)
             else:
                 if flow.pending:
                     flow.pending = False
                     self._unplanned -= 1
+                if keep is not None:
+                    keep.append(True)
                 live.append(flow)
+        if comp is not None:
+            if len(live) != len(component) and not comp.dirty:
+                self._p_remove_rows(comp, keep)
+            comp.flows = live
         if live:
-            self._allocate(live)
+            self._allocate(live, comp)
             if detached and self.batching:
                 # A detached flow may have been the bridge holding the
                 # component together (or ``component`` was already a union
@@ -652,7 +900,10 @@ class BandwidthSystem:
                 # connected group needs its own min-entry in the horizon
                 # heap, or a split-off group would never be woken again.
                 # The legacy path pushes per flow, so it never orphans.
-                for group in self._live_groups(live):
+                groups = self._live_groups(live)
+                if comp is not None and len(groups) > 1:
+                    self._p_split(comp, groups)
+                for group in groups:
                     self._push_deadlines(group)
             else:
                 self._push_deadlines(live)
@@ -662,16 +913,20 @@ class BandwidthSystem:
             # planned (the flush hook re-plans every pending component
             # before the clock advances).
             self._verify_against_reference()
+            if self.persist:
+                self._verify_persistent_components()
         self._arm_timer()
 
-    def _allocate(self, flows: List[Flow]) -> None:
+    def _allocate(self, flows: List[Flow], comp: Optional[_Component] = None) -> None:
         """Progressive filling restricted to one (settled) component.
 
         Small components run the scalar reference procedure directly; larger
         ones run the vectorized mirror of it (bit-identical, see
-        :meth:`_allocate_vector`).  ``batching=False`` pins the scalar
-        procedure unconditionally: that is the legacy solver the
-        ``--solver-no-batch`` escape hatch and the CI A/B gate run against.
+        :meth:`_allocate_vector`), over the persistent component arrays when
+        ``comp`` is given (see :meth:`_allocate_vector_persist`).
+        ``batching=False`` pins the scalar procedure unconditionally: that
+        is the legacy solver the ``--solver-no-batch`` escape hatch and the
+        CI A/B gate run against.
         """
         if self._count:
             COUNTERS.bw_allocations += 1
@@ -679,6 +934,8 @@ class BandwidthSystem:
         if not self.batching or len(flows) < _VECTOR_MIN_FLOWS:
             for flow, rate in reference_allocation(flows).items():
                 flow.rate = rate
+        elif comp is not None:
+            self._allocate_vector_persist(comp)
         else:
             self._allocate_vector(flows)
         if TRACER.enabled and self._gauges:
@@ -709,10 +966,8 @@ class BandwidthSystem:
         * capacity decrements run per flow in index order with an immediate
           ``max(0, .)`` clamp -- literally the scalar inner loop.
 
-        The round loop itself is hybrid: numpy picks the bottleneck over all
-        k channels in one ``argmin``, then plain-python scalar updates touch
-        only the few flows/channels the freeze changed (the all-array variant
-        spent more time on per-round numpy dispatch than on the data).
+        The round loop itself is :func:`_fill_rounds`, shared bit-for-bit
+        with the persistent-array assembly.
         """
         n = len(flows)
         counts = np.fromiter((len(f.channels) for f in flows), np.int64, n)
@@ -745,33 +1000,342 @@ class BandwidthSystem:
         for c, u in enumerate(users):
             acc += u
             cstart[c + 1] = acc
-        rates = [math.inf] * n
-        unfrozen = [True] * n
-        remaining = n
-        inf = math.inf
-        while remaining:
-            bottleneck = int(shares.argmin())
-            share = float(shares[bottleneck])
-            if share == inf:
-                # Remaining flows cross no constrained channel (the scalar
-                # solver's bottleneck-is-None branch); rates pre-filled inf.
-                break
-            for f in by_chan[cstart[bottleneck] : cstart[bottleneck + 1]]:
-                if not unfrozen[f]:
-                    continue
-                unfrozen[f] = False
-                remaining -= 1
-                rates[f] = share
-                for c in lid_list[fstart[f] : fstart[f + 1]]:
-                    v = cap_left[c] - share
-                    if v < 0.0:
-                        v = 0.0
-                    cap_left[c] = v
-                    u = users[c] - 1
-                    users[c] = u
-                    shares[c] = v / u if u else inf
+        rates = _fill_rounds(shares, cap_left, users, lid_list, fstart, by_chan, cstart, n)
         for flow, rate in zip(flows, rates):
             flow.rate = rate
+
+    # -- persistent component maintenance (SolverConfig.persistence) --------------
+
+    def _new_component(self) -> _Component:
+        self._comp_ident += 1
+        self._comp_epoch += 1
+        return _Component(self._comp_ident, self._comp_epoch)
+
+    def _count_component_persist(self, comp: _Component) -> None:
+        """The component-discovery counters, for a persistent O(1) lookup."""
+        if not self._count:
+            return
+        n = len(comp.flows)
+        COUNTERS.bw_components += 1
+        COUNTERS.bw_component_flows += n
+        if comp.dirty:
+            channels: Set[FairShareChannel] = set()
+            for flow in comp.flows:
+                channels.update(flow.channels)
+            COUNTERS.bw_component_channels += len(channels)
+        else:
+            COUNTERS.bw_component_channels += comp.n_slots - comp.dead_slots
+        if n > COUNTERS.bw_max_component_flows:
+            COUNTERS.bw_max_component_flows = n
+
+    def _p_attach(self, flow: Flow) -> None:
+        """Union the flow's channels into one component and append the flow.
+
+        The incremental half of the union-find: idle channels join directly,
+        distinct live components merge into the largest one (the smaller
+        sides are relabelled and the arrays marked stale).  Each channel
+        also receives the flow's encounter-key entry -- a new flow always
+        carries the highest index, so existing first-encounter keys never
+        change on attach.
+        """
+        if len(flow.channels) >> _ENC_SHIFT:
+            raise SimulationError(
+                f"flow crosses {len(flow.channels)} channels; encounter keys "
+                f"encode at most {1 << _ENC_SHIFT} per flow"
+            )
+        comps: List[_Component] = []
+        for chan in flow.channels:
+            comp = chan.comp
+            if comp is not None and comp not in comps:
+                comps.append(comp)
+        if not comps:
+            target = self._new_component()
+        else:
+            target = comps[0]
+            for comp in comps[1:]:
+                if (len(comp.flows), -comp.ident) > (len(target.flows), -target.ident):
+                    target = comp
+            for comp in comps:
+                if comp is not target:
+                    self._p_merge(target, comp)
+        dirty = target.dirty
+        index_base = flow.index << _ENC_SHIFT
+        for pos, chan in enumerate(flow.channels):
+            entry = (index_base | pos, flow)
+            heapq.heappush(chan._key_heap, entry)
+            if chan.comp is None:
+                chan.comp = target
+                chan._enc_entry = entry
+                if not dirty:
+                    self._p_add_slot(target, chan, entry[0])
+        target.flows.append(flow)  # highest index: the sort order is preserved
+        if not dirty:
+            self._p_append_row(target, flow)
+
+    def _p_merge(self, target: _Component, other: _Component) -> None:
+        """Absorb ``other`` into ``target`` (relabel pointers, merge flows).
+
+        Every member channel is crossed by at least one member flow, so the
+        flow list reaches all pointers to relabel.  The merged arrays are
+        *not* stitched together -- ``target`` is marked stale and rebuilt
+        lazily on its next vector allocation (merges are rare: a flow
+        bridging two live fabrics).
+        """
+        for flow in other.flows:
+            for chan in flow.channels:
+                chan.comp = target
+        # Two runs already sorted by flow index: timsort merges in O(n).
+        target.flows = sorted(target.flows + other.flows, key=lambda f: f.index)
+        target.dirty = True
+        if self._count:
+            COUNTERS.bw_cc_unions += 1
+
+    def _p_split(self, comp: _Component, groups: List[List[Flow]]) -> None:
+        """Re-home the surviving groups after a real disconnection.
+
+        Union-find cannot split, but ``_live_groups`` just recovered the
+        true partition: the largest group keeps the original component (its
+        rows survive as one mask compaction), every other group moves to a
+        fresh, lazily rebuilt component -- the "epoch-tagged lazy rebuild of
+        only the touched component" half of the persistence design.
+        """
+        big = groups[0]
+        for group in groups[1:]:
+            if len(group) > len(big):
+                big = group
+        for group in groups:
+            if group is big:
+                continue
+            new = self._new_component()
+            new.flows = group
+            for flow in group:
+                for chan in flow.channels:
+                    if chan.comp is not new:
+                        if not comp.dirty and chan._slot_epoch == comp.epoch:
+                            comp.keys[chan._slot] = _DEAD_KEY
+                            comp.dead_slots += 1
+                        chan.comp = new
+            if self._count:
+                COUNTERS.bw_cc_rebuilds += 1
+        if not comp.dirty:
+            in_big = set(big)
+            self._p_remove_rows(comp, [f in in_big for f in comp.flows])
+        comp.flows = big
+
+    def _p_add_slot(self, comp: _Component, chan: FairShareChannel, key: int) -> None:
+        slot = comp.n_slots
+        keys = comp.keys
+        if keys is None or slot == keys.size:
+            grown = max(32, slot * 2)
+            new_keys = np.empty(grown, dtype=np.int64)
+            new_caps = np.empty(grown, dtype=np.float64)
+            if slot:
+                new_keys[:slot] = keys[:slot]
+                new_caps[:slot] = comp.caps[:slot]
+            comp.keys = new_keys
+            comp.caps = new_caps
+        comp.keys[slot] = key
+        comp.caps[slot] = chan.capacity
+        chan._slot = slot
+        chan._slot_epoch = comp.epoch
+        comp.n_slots = slot + 1
+
+    def _p_append_row(self, comp: _Component, flow: Flow) -> None:
+        """Delta update: append the new flow's row to the CSR arrays."""
+        k = len(flow.channels)
+        edges = comp.e_slot
+        n_edges = comp.n_edges
+        if edges is None or n_edges + k > edges.size:
+            grown = np.empty(max(64, 2 * (n_edges + k)), dtype=np.int64)
+            if n_edges:
+                grown[:n_edges] = edges[:n_edges]
+            comp.e_slot = edges = grown
+        for chan in flow.channels:
+            edges[n_edges] = chan._slot
+            n_edges += 1
+        comp.n_edges = n_edges
+        row = comp.n_rows
+        counts = comp.counts
+        if counts is None or row == counts.size:
+            grown = np.empty(max(32, row * 2), dtype=np.int64)
+            if row:
+                grown[:row] = counts[:row]
+            comp.counts = counts = grown
+        counts[row] = k
+        comp.n_rows = row + 1
+        if self._count:
+            COUNTERS.bw_array_delta_updates += 1
+
+    def _p_remove_rows(self, comp: _Component, keep: List[bool]) -> None:
+        """Delta update: drop the rows of detached flows by one boolean mask."""
+        counts = comp.counts[: comp.n_rows]
+        keep_arr = np.array(keep, dtype=bool)
+        kept_counts = counts[keep_arr]
+        edge_keep = np.repeat(keep_arr, counts)
+        kept_edges = comp.e_slot[: comp.n_edges][edge_keep]
+        comp.e_slot[: kept_edges.size] = kept_edges
+        comp.n_edges = int(kept_edges.size)
+        comp.counts[: kept_counts.size] = kept_counts
+        comp.n_rows = int(kept_counts.size)
+        if self._count:
+            COUNTERS.bw_array_delta_updates += 1
+
+    def _p_rebuild(self, comp: _Component) -> None:
+        """Full array rebuild from the (exact) flow list, under a new epoch.
+
+        Runs lazily: after a merge or a split-off, on the component's next
+        vector allocation (small components may stay dirty forever -- the
+        scalar solver never reads the arrays), or when dead slots pile up.
+        """
+        flows = comp.flows
+        n = len(flows)
+        self._comp_epoch += 1
+        epoch = comp.epoch = self._comp_epoch
+        counts = np.fromiter((len(f.channels) for f in flows), np.int64, n)
+        total = int(counts.sum()) if n else 0
+        e_slot = np.empty(total, dtype=np.int64)
+        keys: List[int] = []
+        caps: List[float] = []
+        n_slots = 0
+        pos = 0
+        for flow in flows:
+            for chan in flow.channels:
+                if chan._slot_epoch != epoch:
+                    chan._slot_epoch = epoch
+                    chan._slot = n_slots
+                    keys.append(chan._enc_entry[0])
+                    caps.append(chan.capacity)
+                    n_slots += 1
+                e_slot[pos] = chan._slot
+                pos += 1
+        comp.counts = counts
+        comp.e_slot = e_slot
+        comp.keys = np.array(keys, dtype=np.int64)
+        comp.caps = np.array(caps, dtype=np.float64)
+        comp.n_rows = n
+        comp.n_edges = total
+        comp.n_slots = n_slots
+        comp.dead_slots = 0
+        comp.dirty = False
+        if self._count:
+            COUNTERS.bw_array_full_rebuilds += 1
+
+    def _allocate_vector_persist(self, comp: _Component) -> None:
+        """Progressive filling over the persistent component arrays.
+
+        Output bits are identical to :meth:`_allocate_vector`: the per-slot
+        encounter keys sort to exactly the legacy encounter order (keys are
+        unique ``(flow index, position)`` pairs, so the order is total and
+        independent of slot numbering), capacities and user counts are the
+        same operand values, and the round loop is the shared
+        :func:`_fill_rounds`.  What persistence buys is the assembly: no
+        BFS, no per-flow Python iteration, no ``np.concatenate`` and no
+        ``np.unique`` -- one key sort over k slots plus C-speed gathers over
+        arrays maintained by deltas.
+        """
+        if comp.dirty or comp.dead_slots * 2 > comp.n_slots:
+            self._p_rebuild(comp)
+        flows = comp.flows
+        n = comp.n_rows  # == len(flows): the arrays mirror the flow list
+        counts = comp.counts[:n]
+        keys = comp.keys[: comp.n_slots]
+        if comp.dead_slots:
+            live_slots = np.nonzero(keys != _DEAD_KEY)[0]
+            order = live_slots[np.argsort(keys[live_slots], kind="stable")]
+        else:
+            order = np.argsort(keys, kind="stable")
+        k = int(order.size)
+        rank = np.empty(comp.n_slots, dtype=np.int64)
+        rank[order] = np.arange(k, dtype=np.int64)
+        lid = rank[comp.e_slot[: comp.n_edges]]
+        users_arr = np.bincount(lid, minlength=k)
+        enc_caps = comp.caps[order]
+        shares = enc_caps / users_arr  # every live channel has >= 1 user
+        cap_left = enc_caps.tolist()
+        users = users_arr.tolist()
+        lid_list = lid.tolist()
+        fl_ptr = np.repeat(np.arange(n, dtype=np.int64), counts)
+        fstart = np.empty(n + 1, dtype=np.int64)
+        fstart[0] = 0
+        np.cumsum(counts, out=fstart[1:])
+        fstart = fstart.tolist()
+        by_chan = fl_ptr[np.argsort(lid, kind="stable")].tolist()
+        cstart = np.empty(k + 1, dtype=np.int64)
+        cstart[0] = 0
+        np.cumsum(users_arr, out=cstart[1:])
+        cstart = cstart.tolist()
+        rates = _fill_rounds(shares, cap_left, users, lid_list, fstart, by_chan, cstart, n)
+        for flow, rate in zip(flows, rates):
+            flow.rate = rate
+
+    def _verify_persistent_components(self) -> None:
+        """Verify-mode cross-check of the maintained structure itself.
+
+        Re-derives, from scratch, what persistence maintains incrementally:
+        every flow's component must equal the BFS component of its channels,
+        every channel's encounter key must be its true first-encounter key,
+        and a clean component's arrays must mirror its flow list edge for
+        edge.  O(global edges) -- dwarfed by the reference re-allocation that
+        verify mode already runs.
+        """
+        seen: Set[int] = set()
+        for flow in self._flows:
+            comp = flow.channels[0].comp
+            if comp is None or flow not in comp.flows:
+                raise SimulationError(f"persistent component lost track of {flow!r}")
+            if comp.ident in seen:
+                continue
+            seen.add(comp.ident)
+            expected = self._component(flow.channels)
+            if comp.flows != expected:
+                raise SimulationError(
+                    f"persistent component #{comp.ident} diverged from BFS "
+                    f"({len(comp.flows)} flow(s) maintained, {len(expected)} discovered)"
+                )
+            first: Dict[FairShareChannel, int] = {}
+            for member in comp.flows:
+                base = member.index << _ENC_SHIFT
+                for pos, chan in enumerate(member.channels):
+                    if chan not in first:
+                        first[chan] = base | pos
+            for chan, key in first.items():
+                if chan.comp is not comp:
+                    raise SimulationError(
+                        f"channel {chan.name!r} points at component "
+                        f"#{chan.comp.ident if chan.comp else None}, "
+                        f"expected #{comp.ident}"
+                    )
+                if chan._enc_entry is None or chan._enc_entry[0] != key:
+                    raise SimulationError(
+                        f"maintained encounter key of {chan.name!r} diverged "
+                        f"(maintained {chan._enc_entry!r}, expected {key})"
+                    )
+            if comp.dirty:
+                continue
+            if comp.n_rows != len(comp.flows):
+                raise SimulationError(
+                    f"persistent arrays of component #{comp.ident} hold "
+                    f"{comp.n_rows} row(s) for {len(comp.flows)} flow(s)"
+                )
+            pos = 0
+            for member in comp.flows:
+                for chan in member.channels:
+                    if (
+                        chan._slot_epoch != comp.epoch
+                        or comp.e_slot[pos] != chan._slot
+                        or comp.keys[chan._slot] != chan._enc_entry[0]
+                        or comp.caps[chan._slot] != chan.capacity
+                    ):
+                        raise SimulationError(
+                            f"persistent arrays of component #{comp.ident} "
+                            f"diverged at edge {pos} ({member!r} x {chan.name!r})"
+                        )
+                    pos += 1
+            if pos != comp.n_edges:
+                raise SimulationError(
+                    f"persistent arrays of component #{comp.ident} hold "
+                    f"{comp.n_edges} edge(s), expected {pos}"
+                )
 
     def _push_deadlines(self, flows: List[Flow]) -> None:
         """Recompute the absolute completion deadline of each flow.
@@ -869,6 +1433,25 @@ class BandwidthSystem:
                 seeds.append(flow)
         if not seeds:
             self._arm_timer()
+            _SOLVER_WALL["seconds"] += perf_counter() - t0
+            return
+        if self.persist:
+            # Deadlines can coincide across components; each seed's
+            # component is settled and re-planned separately (allocation
+            # over a union of disjoint components equals allocating each
+            # separately, so this is bit-identical to the merged BFS below).
+            # A replan can complete or re-home later seeds -- ``handled``
+            # carries every flow already covered by an earlier component.
+            handled: Set[Flow] = set()
+            for flow in seeds:
+                if flow in handled or flow not in self._flows:
+                    continue
+                comp = flow.channels[0].comp
+                component = comp.flows
+                handled.update(component)
+                self._count_component_persist(comp)
+                self._settle(component)
+                self._replan(component, comp=comp)
             _SOLVER_WALL["seconds"] += perf_counter() - t0
             return
         channels: List[FairShareChannel] = []

@@ -415,6 +415,12 @@ class Environment:
         before time advances, and the hooks run again afterwards -- so a
         subsystem can coalesce all same-instant work into one batch without
         ever observing a half-finished instant.
+
+        The bandwidth solver is the canonical client: its flush hook replans
+        each same-instant admission batch once, and (with
+        ``SolverConfig.persistence``) the persistent per-component state it
+        maintains between flushes stays coherent precisely because no hook
+        ever sees a half-finished instant.
         """
         self._flush_hooks.append(hook)
 

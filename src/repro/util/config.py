@@ -188,7 +188,7 @@ class PVFSSpec:
 class SolverConfig:
     """Configuration of the max-min fair bandwidth solver.
 
-    The solver has three independently addressable behaviours, all of which
+    The solver has four independently addressable behaviours, all of which
     used to be constructor arguments threaded by hand:
 
     * ``verify`` -- re-derive every rate through the global reference solver
@@ -199,18 +199,27 @@ class SolverConfig:
       component instead of one settle+replan per ``transfer()`` call.  Off
       reproduces the purely scalar incremental engine event for event;
       both paths produce bit-identical rows,
+    * ``persistence`` -- keep connected components and the vectorised
+      solver's flat arrays alive *across* events (incremental union-find on
+      flow attach, delta updates on detach, lazy epoch-tagged rebuilds on
+      merge/split) instead of rediscovering the component by BFS and
+      rebuilding its arrays at every recomputation.  Only meaningful with
+      ``batching`` on (the legacy scalar engine is kept byte-for-byte as an
+      oracle); rows are bit-identical either way,
     * ``instrumentation`` -- ``"full"`` (work counters + tracer gauges, the
       default), ``"counters"`` (suppress the solver's per-allocation tracer
       gauges) or ``"off"`` (also suppress the solver's work counters).
 
     Reaching the solver from a scenario or the CLI needs no code edits:
     ``--override cluster.solver.verify=true`` (or the ``--solver-verify`` /
-    ``--solver-no-batch`` convenience flags) follow the same dotted-path
-    override machinery as every other :class:`ClusterSpec` field.
+    ``--solver-no-batch`` / ``--solver-no-persist`` convenience flags)
+    follow the same dotted-path override machinery as every other
+    :class:`ClusterSpec` field.
     """
 
     verify: bool = False
     batching: bool = True
+    persistence: bool = True
     instrumentation: str = "full"
 
     def validate(self) -> None:

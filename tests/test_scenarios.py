@@ -102,10 +102,10 @@ class TestScenarioSpec:
         paper = FIG2.enumerate_cells(RunConfig(paper_scale=True))
         assert len(paper) > len(reduced)
 
-    def test_scale_scenario_reaches_4096_at_paper_scale(self):
+    def test_scale_scenario_reaches_16384_at_paper_scale(self):
         cells = SCALE.enumerate_cells(RunConfig(paper_scale=True))
         assert any(c.params["instances"] == 512 for c in cells)
-        assert any(c.params["instances"] == 4096 for c in cells)
+        assert any(c.params["instances"] == 16384 for c in cells)
 
     def test_cluster_plan_applies_on_default_and_override(self):
         cells = FT.enumerate_cells(RunConfig())

@@ -145,10 +145,13 @@ def burst_topologies(draw):
     return capacities, flows
 
 
-def run_schedule(capacities, flow_specs, *, batching, verify=False):
+def run_schedule(capacities, flow_specs, *, batching, verify=False, persistence=True):
     """Drive a schedule to completion; returns {flow index: completion time}."""
     env = Environment()
-    bw = BandwidthSystem(env, config=SolverConfig(verify=verify, batching=batching))
+    bw = BandwidthSystem(
+        env,
+        config=SolverConfig(verify=verify, batching=batching, persistence=persistence),
+    )
     channels = [bw.channel(cap, f"ch{i}") for i, cap in enumerate(capacities)]
     done = {}
 
@@ -234,6 +237,194 @@ class TestBatchingRowParity:
         assert json.dumps(batched.rows, sort_keys=True) == json.dumps(
             scalar.rows, sort_keys=True
         )
+
+    def test_solver_no_persist_rows_byte_identical_on_reduced_suite(self):
+        """``--solver-no-persist`` (cluster.solver.persistence=false) must
+        yield rows byte-identical to the default persistent engine across
+        the whole reduced scale suite."""
+        from repro.api.session import Session
+
+        persistent = Session().run_scenario("scale")
+        fresh = Session().run_scenario(
+            "scale", overrides={"cluster.solver.persistence": False}
+        )
+        assert json.dumps(persistent.rows, sort_keys=True) == json.dumps(
+            fresh.rows, sort_keys=True
+        )
+
+
+# -- persistent component / array state vs the BFS + rebuild oracles -------------------
+
+
+def assert_persistent_components_match_bfs(bw):
+    """Every attached flow's persistent component must equal a fresh BFS
+    discovery over its channels -- same members, consistent back-pointers."""
+    for flow in bw._flows:
+        if not flow.channels:
+            continue
+        comp = flow.channels[0].comp
+        assert comp is not None
+        assert flow in comp.flows
+        assert set(comp.flows) == set(bw._component(flow.channels))
+        for channel in flow.channels:
+            assert channel.comp is comp
+
+
+def drive_stepwise_checking_components(capacities, flow_specs, fail_at=None, victim=0):
+    """Run a schedule one event at a time under the persistent engine,
+    re-validating the union-find component structure against the BFS oracle
+    after *every* event (not just at replans)."""
+    env = Environment()
+    bw = BandwidthSystem(env, config=SolverConfig(verify=True))
+    channels = [bw.channel(cap, f"ch{i}") for i, cap in enumerate(capacities)]
+    outcomes = {}
+
+    def mover(i, crossed, size, start):
+        yield env.timeout(start)
+        try:
+            yield bw.transfer(size, [channels[c] for c in crossed], label=f"f{i}")
+            outcomes[i] = "done"
+        except RuntimeError:
+            outcomes[i] = "failed"
+
+    def killer():
+        yield env.timeout(fail_at)
+        bw.fail_channel(channels[victim % len(channels)], RuntimeError("fabric died"))
+
+    for i, (crossed, size, start) in enumerate(flow_specs):
+        env.process(mover(i, crossed, size, start))
+    if fail_at is not None:
+        env.process(killer())
+    # The same drain loop as Environment.run(None), with the oracle check
+    # inserted after every popped event and every end-of-instant flush.
+    while True:
+        while env._queue:
+            env.step()
+            assert_persistent_components_match_bfs(bw)
+        env._flush_instant()
+        assert_persistent_components_match_bfs(bw)
+        if not env._queue:
+            break
+    assert len(outcomes) == len(flow_specs)
+    assert bw.active_flows == 0
+
+
+class TestPersistentStateOracle:
+    """The tentpole contracts of persistent solver state.
+
+    The union-find connectivity and the delta-maintained flat arrays are
+    pure caches of what a BFS discovery plus a from-scratch array build
+    would produce; these tests pin that equivalence step-by-step (structure)
+    and float-by-float (rates), including under mid-flight channel failures.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(topology=topologies())
+    def test_union_find_component_equals_bfs_at_every_step(self, topology):
+        capacities, flow_specs = topology
+        drive_stepwise_checking_components(capacities, flow_specs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        topology=topologies(),
+        fail_at=st.floats(0.5, 20.0),
+        victim=st.integers(0, 5),
+    )
+    def test_union_find_component_equals_bfs_under_failures(
+        self, topology, fail_at, victim
+    ):
+        capacities, flow_specs = topology
+        drive_stepwise_checking_components(
+            capacities, flow_specs, fail_at=fail_at, victim=victim
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(topology=burst_topologies())
+    def test_persistent_rates_equal_fresh_rebuild_exactly(self, topology):
+        """Completion times under delta-maintained arrays must equal the
+        fresh-rebuild engine's exactly -- not approximately."""
+        capacities, flow_specs = topology
+        persistent = run_schedule(capacities, flow_specs, batching=True)
+        fresh = run_schedule(
+            capacities, flow_specs, batching=True, persistence=False
+        )
+        assert persistent == fresh  # exact float equality
+
+    @settings(max_examples=30, deadline=None)
+    @given(topology=burst_topologies())
+    def test_persistent_replans_are_reference_exact(self, topology):
+        """verify=True under the persistent engine re-derives every replan
+        through the global reference solver *and* re-validates the
+        persistent component/array state against a fresh discovery; running
+        to completion is the assertion."""
+        capacities, flow_specs = topology
+        done = run_schedule(capacities, flow_specs, batching=True, verify=True)
+        assert len(done) == len(flow_specs)
+
+    def test_union_and_split_counters(self):
+        """A flow bridging two live components records one union; its
+        completion splits the component back apart and records rebuilds."""
+        from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+        counters_reset()
+        env = Environment()
+        bw = BandwidthSystem(env, config=SolverConfig(verify=True))
+        a = bw.channel(50.0, "a")
+        b = bw.channel(50.0, "b")
+        bw.transfer(1000.0, [a], label="fa")
+        bw.transfer(2000.0, [b], label="fb")
+        # Attached third, so both single-channel components already exist
+        # and the bridge merges them: exactly one union.
+        bw.transfer(10.0, [a, b], label="bridge")
+        env.run()
+        after = counters_snapshot()
+        assert after.bw_flows_completed == 3
+        assert after.bw_cc_unions == 1
+        # The bridge finishes first, splitting {fa} from {fb} again.
+        assert after.bw_cc_rebuilds >= 1
+
+    def test_array_delta_counters_on_large_component(self):
+        """A component big enough for the vectorised path materialises its
+        arrays once (full rebuild) and then compacts them in place as flows
+        complete (delta updates) instead of rebuilding."""
+        from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+        counters_reset()
+        env = Environment()
+        bw = BandwidthSystem(env, config=SolverConfig(verify=True))
+        link = bw.channel(100.0, "link")
+        for i in range(24):
+            # Distinct sizes: completions are spread over distinct instants,
+            # each one a detach against the persistent arrays.
+            bw.transfer(1000.0 + 10.0 * i, [link], label=f"f{i}")
+        env.run()
+        after = counters_snapshot()
+        assert after.bw_flows_completed == 24
+        assert after.bw_array_full_rebuilds >= 1
+        assert after.bw_array_delta_updates >= 1
+
+    def test_persistence_off_keeps_counters_zero(self):
+        """With persistence disabled nothing maintains cross-event state, so
+        none of the persistence counters may move."""
+        from repro.sim.instrumentation import counters_reset, counters_snapshot
+
+        counters_reset()
+        env = Environment()
+        bw = BandwidthSystem(env, config=SolverConfig(persistence=False))
+        a = bw.channel(50.0, "a")
+        b = bw.channel(50.0, "b")
+        bw.transfer(1000.0, [a], label="fa")
+        bw.transfer(2000.0, [b], label="fb")
+        bw.transfer(10.0, [a, b], label="bridge")
+        for i in range(24):
+            bw.transfer(1000.0 + 10.0 * i, [a], label=f"f{i}")
+        env.run()
+        after = counters_snapshot()
+        assert after.bw_flows_completed == 27
+        assert after.bw_cc_unions == 0
+        assert after.bw_cc_rebuilds == 0
+        assert after.bw_array_delta_updates == 0
+        assert after.bw_array_full_rebuilds == 0
 
 
 # -- the reference solver itself -------------------------------------------------------

@@ -1,28 +1,45 @@
 #!/usr/bin/env python
-"""CI A/B gate for the batched bandwidth solver.
+"""CI A/B/C gate for the batched + persistent bandwidth solver.
 
-Runs one paper-scale cell (``scale:BlobCR-app:512`` by default) twice in the
-same process -- once with same-instant batching + the vectorised progressive
-filling loop (the default engine) and once with
-``cluster.solver.batching=false`` (the per-event scalar engine) -- and then
-enforces the two contracts the batched redesign makes:
+Runs one paper-scale cell (``scale:BlobCR-app:512`` by default) three times
+in the same process:
 
-* **rows are byte-identical**: the solver configuration is a pure
-  performance knob; any divergence in the merged scenario rows fails the
-  gate immediately,
-* **the batched solver path is faster**: wall-clock seconds spent inside the
+1. **scalar** -- ``cluster.solver.batching=false``: the per-event scalar
+   engine (runs first so interpreter/numpy warmup is absorbed by the
+   baseline, not charged to a measured side),
+2. **batched** -- ``cluster.solver.persistence=false``: same-instant
+   batching + the vectorised progressive-filling loop, but components and
+   solver arrays rebuilt from scratch at every recomputation (the PR 7
+   engine),
+3. **persist** -- the default engine: batching plus persistent component /
+   array maintenance across events.
+
+and then enforces the contracts the solver redesigns make:
+
+* **rows are byte-identical across all three**: the solver configuration is
+  a pure performance knob; any divergence in the merged scenario rows fails
+  the gate immediately,
+* **batching is faster than scalar** on wall-clock seconds spent inside the
   solver entry points (measured by
   :func:`repro.sim.bandwidth.solver_wall_seconds`, so the comparison is not
-  diluted by the application model, which is identical on both sides) must
-  improve by at least ``--min-speedup`` (default 1.5x).
+  diluted by the application model, which is identical on all sides) by at
+  least ``--min-speedup`` (default 1.5x),
+* **persistence is faster than batching alone** on the same metric by at
+  least ``--min-persist-speedup`` (default 1.2x).
 
-Both runs are written out as JSON artifacts (``--out-batched`` /
-``--out-scalar``) so CI can upload them for inspection.  Typical CI use::
+Cell selection goes through the CLI's shared
+:func:`repro.cli.resolve_run_inputs` pipeline, so the gate accepts exactly
+the selectors ``blobcr-repro run --cells`` accepts, by construction.
+
+All three runs are written out as JSON artifacts (``--out-scalar`` /
+``--out-batched`` / ``--out-persist``) so CI can upload them for
+inspection.  Typical CI use::
 
     python tools/bench_solver_ab.py \
         --cell scale:BlobCR-app:512 \
+        --out-scalar bench-solver-scalar.json \
         --out-batched bench-solver-batched.json \
-        --out-scalar bench-solver-scalar.json
+        --out-persist bench-solver-persist.json
 """
 
 from __future__ import annotations
@@ -32,26 +49,39 @@ import json
 import sys
 import time
 
+#: mode name -> extra solver override stream (the persist mode is the
+#: default engine, so it needs none)
+MODES = {
+    "scalar": ["cluster.solver.batching=false"],
+    "batched": ["cluster.solver.persistence=false"],
+    "persist": [],
+}
 
-def run_cell(cell: str, *, batching: bool) -> dict:
-    """Run one paper-scale cell and return rows + timing."""
-    from repro.api.session import Session
+
+def run_cell(cell: str, mode: str) -> dict:
+    """Run one paper-scale cell under one solver mode; return rows + timing."""
+    from repro.cli import resolve_run_inputs
+    from repro.runner import ParallelRunner, load_all
     from repro.sim.bandwidth import solver_wall_reset, solver_wall_seconds
 
-    overrides = [] if batching else ["cluster.solver.batching=false"]
+    # The same selection/override/spec pipeline as ``blobcr-repro run``:
+    # raises ConfigurationError on a malformed or unknown selector exactly
+    # like the CLI would.
+    experiments, selectors, config = resolve_run_inputs(
+        load_all(), [], [cell], list(MODES[mode]), paper_scale=True
+    )
     solver_wall_reset()
     started = time.perf_counter()
-    report = Session().run_scenario(
-        "scale", cells=[cell], overrides=overrides, paper_scale=True
-    )
+    report = ParallelRunner(workers=1).run(experiments, config, selectors)
     wall = time.perf_counter() - started
     return {
         "schema": "blobcr-repro/solver-ab",
         "cell": cell,
-        "batching": batching,
+        "mode": mode,
+        "overrides": MODES[mode],
         "wall_seconds": wall,
         "solver_seconds": solver_wall_seconds(),
-        "rows": report.rows,
+        "rows": [row for result in report.results for row in result.rows],
     }
 
 
@@ -64,50 +94,70 @@ def main(argv=None) -> int:
         default=1.5,
         help="required solver-path speedup of batched over scalar (default 1.5)",
     )
-    parser.add_argument("--out-batched", default=None, help="batched run artifact path")
+    parser.add_argument(
+        "--min-persist-speedup",
+        type=float,
+        default=1.2,
+        help="required solver-path speedup of persist over batched (default 1.2)",
+    )
     parser.add_argument("--out-scalar", default=None, help="scalar run artifact path")
+    parser.add_argument("--out-batched", default=None, help="batched run artifact path")
+    parser.add_argument("--out-persist", default=None, help="persist run artifact path")
     args = parser.parse_args(argv)
 
     print(f"[solver-ab] cell={args.cell}", flush=True)
-    scalar = run_cell(args.cell, batching=False)
-    print(
-        f"[solver-ab] scalar:  wall={scalar['wall_seconds']:.2f}s "
-        f"solver={scalar['solver_seconds']:.2f}s",
-        flush=True,
-    )
-    batched = run_cell(args.cell, batching=True)
-    print(
-        f"[solver-ab] batched: wall={batched['wall_seconds']:.2f}s "
-        f"solver={batched['solver_seconds']:.2f}s",
-        flush=True,
-    )
+    results = {}
+    for mode in ("scalar", "batched", "persist"):
+        results[mode] = run_cell(args.cell, mode)
+        print(
+            f"[solver-ab] {mode:<7}: wall={results[mode]['wall_seconds']:.2f}s "
+            f"solver={results[mode]['solver_seconds']:.2f}s",
+            flush=True,
+        )
 
-    for path, payload in ((args.out_batched, batched), (args.out_scalar, scalar)):
+    outs = {
+        "scalar": args.out_scalar,
+        "batched": args.out_batched,
+        "persist": args.out_persist,
+    }
+    for mode, path in outs.items():
         if path:
             with open(path, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
+                json.dump(results[mode], fh, indent=2, sort_keys=True)
             print(f"[solver-ab] wrote {path}")
 
     failures = []
-    if json.dumps(batched["rows"], sort_keys=True) != json.dumps(
-        scalar["rows"], sort_keys=True
-    ):
+    canonical = json.dumps(results["persist"]["rows"], sort_keys=True)
+    for mode in ("scalar", "batched"):
+        if json.dumps(results[mode]["rows"], sort_keys=True) != canonical:
+            failures.append(
+                f"rows diverge between the persist and {mode} solver paths; "
+                "the solver configuration must not change results"
+            )
+
+    batch_speedup = results["scalar"]["solver_seconds"] / max(
+        results["batched"]["solver_seconds"], 1e-9
+    )
+    print(f"[solver-ab] batched/scalar solver-path speedup: {batch_speedup:.2f}x")
+    if batch_speedup < args.min_speedup:
         failures.append(
-            "rows diverge between the batched and scalar solver paths; "
-            "the solver configuration must not change results"
+            f"batched solver path is only {batch_speedup:.2f}x faster than "
+            f"scalar (required: >= {args.min_speedup:.2f}x)"
         )
-    speedup = scalar["solver_seconds"] / max(batched["solver_seconds"], 1e-9)
-    print(f"[solver-ab] solver-path speedup: {speedup:.2f}x")
-    if speedup < args.min_speedup:
+    persist_speedup = results["batched"]["solver_seconds"] / max(
+        results["persist"]["solver_seconds"], 1e-9
+    )
+    print(f"[solver-ab] persist/batched solver-path speedup: {persist_speedup:.2f}x")
+    if persist_speedup < args.min_persist_speedup:
         failures.append(
-            f"batched solver path is only {speedup:.2f}x faster than scalar "
-            f"(required: >= {args.min_speedup:.2f}x)"
+            f"persistent solver path is only {persist_speedup:.2f}x faster than "
+            f"batched (required: >= {args.min_persist_speedup:.2f}x)"
         )
 
     for failure in failures:
         print(f"[solver-ab] FAIL: {failure}", file=sys.stderr)
     if not failures:
-        print("[solver-ab] OK: rows identical, speedup gate passed")
+        print("[solver-ab] OK: rows identical across all three, speedup gates passed")
     return 1 if failures else 0
 
 
