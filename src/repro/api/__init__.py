@@ -33,6 +33,7 @@ from repro.api.results import (
     DeployResult,
     RestartResult,
     RunReport,
+    ServeReport,
     TraceReport,
 )
 from repro.api.session import Overrides, Session
@@ -59,6 +60,7 @@ __all__ = [
     "Overrides",
     "RestartResult",
     "RunReport",
+    "ServeReport",
     "Session",
     "TraceReport",
     "backend_names",

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Tuple
 
 from repro.core.strategy import GlobalCheckpoint
 from repro.scenarios.results import ExperimentResult
+from repro.service.slo import ServiceReport
 
 
 @dataclass(frozen=True)
@@ -124,3 +125,30 @@ class TraceReport:
         from repro.obs import chrome_trace
 
         return chrome_trace(self.cells)
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome of ``session.serve(...)``: one multi-tenant service run.
+
+    ``aggregate`` is the pooled SLO row (p50/p99/p999 checkpoint/restart
+    latency, queue wait, rejection rate, Jain fairness) and ``tenant_rows``
+    the per-tenant rows, both byte-identical to the ``mtc`` scenario's for
+    the same trace and configuration -- ``serve`` and the scenario cells
+    share one driver entry point (:func:`repro.service.driver.run_service`).
+    """
+
+    #: tenants the trace carried
+    tenants: int
+    #: simulated seconds the whole trace took to serve
+    duration_s: float
+    #: the pooled SLO row over every tenant
+    aggregate: Dict[str, Any]
+    #: one SLO row per tenant, tenant-name order
+    tenant_rows: List[Dict[str, Any]]
+    #: background flows that ran alongside the tenants
+    background_flows: int
+    #: failures injected mid-trace
+    injected_failures: int
+    #: the service layer's full report (per-tenant sample lists)
+    handle: ServiceReport = field(repr=False)

@@ -33,6 +33,7 @@ from repro.api.results import (
     DeployResult,
     RestartResult,
     RunReport,
+    ServeReport,
     TraceReport,
 )
 from repro.cluster.cloud import Cloud
@@ -43,6 +44,10 @@ from repro.scenarios.overrides import resolve_cluster_spec
 from repro.util.bytesource import ByteSource, LiteralBytes
 from repro.util.config import GRAPHENE, ClusterSpec
 from repro.util.errors import ConfigurationError
+
+if False:  # pragma: no cover - typing-only imports (service layer is lazy)
+    from repro.service.driver import ServiceConfig
+    from repro.service.trace import ServiceTrace
 
 #: override input accepted by :meth:`Session.run_scenario`: either raw
 #: ``"key=value"`` strings (the CLI form) or a mapping ``{key: value}``
@@ -276,6 +281,56 @@ class Session:
             name=f"api-read:{instance_id}",
         )
         return data.to_bytes()
+
+    # -- the multi-tenant service layer ------------------------------------------------
+
+    def serve(
+        self,
+        trace: Union["ServiceTrace", str, None] = None,
+        tenants: int = 8,
+        rate: float = 1.0,
+        policy: str = "fifo",
+        config: Optional["ServiceConfig"] = None,
+    ) -> ServeReport:
+        """Serve a multi-tenant job trace on one long-lived cloud.
+
+        ``trace`` is a :class:`~repro.service.trace.ServiceTrace`, a path to
+        a schema-versioned JSONL trace file, or ``None`` to synthesize an
+        open-loop Poisson trace from ``tenants`` and ``rate`` (arrivals per
+        second) -- with exactly the seed the ``mtc`` scenario uses, so the
+        default report is byte-identical to the matching ``mtc`` cell.
+        ``policy`` picks the admission policy (``fifo``/``fair``) when no
+        explicit :class:`~repro.service.driver.ServiceConfig` is given;
+        ``config`` takes full control of approach, slots, background flows
+        and failure injection.  The run builds its own appropriately sized
+        cloud from this session's spec (the session's own deployment, if
+        any, is untouched).
+        """
+        from repro.scenarios.service import TRACE_SEED
+        from repro.service.admission import AdmissionConfig
+        from repro.service.driver import ServiceConfig, run_service
+        from repro.service.trace import ServiceTrace, load_trace, synthesize_trace
+
+        if trace is None:
+            trace = synthesize_trace(tenants, rate, seed=TRACE_SEED)
+        elif isinstance(trace, str):
+            trace = load_trace(trace)
+        elif not isinstance(trace, ServiceTrace):
+            raise ConfigurationError(
+                f"trace must be a ServiceTrace, a JSONL path or None, got {type(trace).__name__}"
+            )
+        if config is None:
+            config = ServiceConfig(admission=AdmissionConfig(policy=policy), seed=TRACE_SEED)
+        report = run_service(trace, config, spec=self._spec)
+        return ServeReport(
+            tenants=len(report.tenants),
+            duration_s=report.duration_s,
+            aggregate=report.aggregate_row(),
+            tenant_rows=report.tenant_rows(),
+            background_flows=report.background_flows,
+            injected_failures=report.injected_failures,
+            handle=report,
+        )
 
     # -- scenarios ---------------------------------------------------------------------
 

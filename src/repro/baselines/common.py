@@ -35,8 +35,9 @@ class QcowPVFSDeployment(Deployment):
         pvfs: Optional[PVFSDeployment] = None,
         base_image: Optional[RawImage] = None,
         boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES,
+        instance_prefix: str = "vm",
     ):
-        super().__init__(cloud)
+        super().__init__(cloud, instance_prefix=instance_prefix)
         self.pvfs = pvfs or PVFSDeployment(cloud)
         self._base_image = base_image
         self.boot_read_bytes = boot_read_bytes
@@ -86,7 +87,7 @@ class QcowPVFSDeployment(Deployment):
         node_names = self._place_instances(count)
         boots = []
         for i, node_name in enumerate(node_names):
-            instance_id = f"vm-{i:03d}"
+            instance_id = self._instance_id(i)
             vm = VMInstance(instance_id, self.cloud.spec.vm)
             overlay = self._new_overlay(instance_id)
             instance = DeployedInstance(

@@ -43,6 +43,7 @@ import argparse
 import json
 import sys
 import time
+from fnmatch import fnmatchcase
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.backends import backend_names, get_backend
@@ -203,18 +204,33 @@ def resolve_run_inputs(
         raise ConfigurationError(f"unknown experiment(s): {', '.join(unknown)}")
 
     selectors = parse_selectors(cells)
-    foreign = sorted({s.experiment for s in selectors if s.experiment not in names})
+    # Selector experiments may carry fnmatch wildcards (e.g. `mtc:*` or
+    # `fig*:BlobCR-app`); they resolve against the registered names here.
+    foreign = sorted(
+        {
+            s.experiment
+            for s in selectors
+            if not any(fnmatchcase(n, s.experiment) for n in names)
+        }
+    )
     if foreign:
         raise ConfigurationError(f"unknown experiment(s) in --cells: {', '.join(foreign)}")
 
     experiments = list(experiments)
     if not experiments:
         if selectors:
-            wanted = {s.experiment for s in selectors}
-            experiments = [n for n in names if n in wanted]
+            experiments = [
+                n
+                for n in names
+                if any(fnmatchcase(n, s.experiment) for s in selectors)
+            ]
         else:
             experiments = list(names)
-    outside = [s.text for s in selectors if s.experiment not in experiments]
+    outside = [
+        s.text
+        for s in selectors
+        if not any(fnmatchcase(n, s.experiment) for n in experiments)
+    ]
     if outside:
         raise ConfigurationError(
             f"--cells selector(s) outside the requested experiments: {', '.join(outside)}"
@@ -275,6 +291,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return profile_main(raw_argv[1:], raw_argv)
     if raw_argv and raw_argv[0] == "trace":
         return trace_main(raw_argv[1:], raw_argv)
+    if raw_argv and raw_argv[0] == "run":
+        # `blobcr-repro run ...` is an explicit alias of the default form,
+        # mirroring the profile/trace subcommands.
+        raw_argv = raw_argv[1:]
     names = load_all()
     parser = _build_parser(names)
     args = parser.parse_args(raw_argv)

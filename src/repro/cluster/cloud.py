@@ -55,6 +55,9 @@ class Cloud:
         self._nodes: Dict[str, ComputeNode] = {
             n.name: n for n in self.compute_nodes + self.service_nodes
         }
+        #: node name -> owner token; lets several deployments share one cloud
+        #: (the service layer) without double-booking compute nodes
+        self._reservations: Dict[str, object] = {}
         self._rng = make_rng("cloud", self.spec.seed)
 
     # -- lookup -----------------------------------------------------------------------
@@ -75,6 +78,48 @@ class Cloud:
 
     def live_compute_nodes(self) -> List[ComputeNode]:
         return [n for n in self.compute_nodes if n.alive]
+
+    # -- node reservations --------------------------------------------------------------
+
+    def reserve_nodes(self, count: int, owner: object) -> List[str]:
+        """Claim ``count`` live, unreserved compute nodes for ``owner``.
+
+        Nodes are picked in deterministic index order, so on a fresh cloud
+        with a single deployment the result is exactly the first ``count``
+        compute nodes (the historical single-tenant placement).
+        """
+        free = [
+            n.name
+            for n in self.compute_nodes
+            if n.alive and n.name not in self._reservations
+        ]
+        if count > len(free):
+            raise SimulationError(
+                f"cannot reserve {count} compute nodes: only {len(free)} live "
+                "unreserved nodes remain"
+            )
+        picked = free[:count]
+        for name in picked:
+            self._reservations[name] = owner
+        return picked
+
+    def claim_nodes(self, names: List[str], owner: object) -> None:
+        """Mark specific nodes as reserved by ``owner`` (e.g. restart targets)."""
+        for name in names:
+            holder = self._reservations.get(name)
+            if holder is not None and holder is not owner:
+                raise SimulationError(f"node {name} is already reserved by another deployment")
+        for name in names:
+            self._reservations[name] = owner
+
+    def release_owned(self, owner: object) -> None:
+        """Drop every reservation held by ``owner`` (dead nodes included)."""
+        for name in [n for n, holder in self._reservations.items() if holder is owner]:
+            del self._reservations[name]
+
+    def reserved_by_others(self, owner: object) -> List[str]:
+        """Names of nodes currently reserved by a different owner."""
+        return [n for n, holder in self._reservations.items() if holder is not owner]
 
     # -- composite I/O helpers -----------------------------------------------------------
 

@@ -53,8 +53,9 @@ class BlobCRDeployment(Deployment):
         base_image: Optional[RawImage] = None,
         adaptive_prefetch: bool = True,
         boot_read_bytes: float = DEFAULT_BOOT_READ_BYTES,
+        instance_prefix: str = "vm",
     ):
-        super().__init__(cloud)
+        super().__init__(cloud, instance_prefix=instance_prefix)
         self.repository = repository or CheckpointRepository(cloud)
         self._base_image = base_image
         self.base_blob_id: Optional[int] = None
@@ -125,7 +126,7 @@ class BlobCRDeployment(Deployment):
         node_names = self._place_instances(count)
         boots = []
         for i, node_name in enumerate(node_names):
-            instance_id = f"vm-{i:03d}"
+            instance_id = self._instance_id(i)
             vm = VMInstance(instance_id, self.cloud.spec.vm)
             mirroring = MirroringModule(
                 self.repository, node_name, instance_id, self.base_blob_id,

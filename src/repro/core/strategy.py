@@ -105,8 +105,12 @@ class Deployment(abc.ABC):
     #: label used by the scenario layer ("BlobCR", "qcow2-disk", "qcow2-full")
     name: str = "abstract"
 
-    def __init__(self, cloud: Cloud):
+    def __init__(self, cloud: Cloud, instance_prefix: str = "vm"):
         self.cloud = cloud
+        #: instance-id prefix (``vm`` -> ``vm-000``); the service layer gives
+        #: every tenant deployment its own prefix so ids stay unique on a
+        #: shared cloud
+        self.instance_prefix = instance_prefix
         self.instances: List[DeployedInstance] = []
         self.checkpoints: List[GlobalCheckpoint] = []
         #: per-node hypervisors, shared by every phase of the strategy
@@ -191,14 +195,17 @@ class Deployment(abc.ABC):
             if instance.vm.instance_id in node.hosted_instances:
                 node.hosted_instances.remove(instance.vm.instance_id)
             instance.vm.terminate()
+        self.cloud.release_owned(self)
 
     def restart_targets(self, offset: int = 1) -> Dict[str, str]:
         """Choose a new (different) host for every instance.
 
         The paper re-deploys each instance on a different compute node than
-        the one it originally ran on, to rule out caching effects.
+        the one it originally ran on, to rule out caching effects.  Nodes
+        reserved by another deployment sharing the cloud are never eligible.
         """
-        live = [n.name for n in self.cloud.live_compute_nodes()]
+        taken = set(self.cloud.reserved_by_others(self))
+        live = [n.name for n in self.cloud.live_compute_nodes() if n.name not in taken]
         if not live:
             raise RestartError("no live compute node available for restart")
         mapping: Dict[str, str] = {}
@@ -223,6 +230,7 @@ class Deployment(abc.ABC):
             )
         self.kill_all()
         mapping = target_nodes or self.restart_targets()
+        self.cloud.claim_nodes(sorted(set(mapping.values())), owner=self)
         started = self.cloud.now
         procs = []
         for instance in self.instances:
@@ -263,14 +271,18 @@ class Deployment(abc.ABC):
             raise
         return results
 
+    def _instance_id(self, index: int) -> str:
+        return f"{self.instance_prefix}-{index:03d}"
+
     def _place_instances(self, count: int) -> List[str]:
-        nodes = self.cloud.live_compute_nodes()
-        if count > len(nodes):
+        taken = set(self.cloud.reserved_by_others(self))
+        available = [n for n in self.cloud.live_compute_nodes() if n.name not in taken]
+        if count > len(available):
             raise CheckpointError(
-                f"cannot deploy {count} instances on {len(nodes)} compute nodes "
-                "(one instance per node, as in the paper)"
+                f"cannot deploy {count} instances on {len(available)} available compute "
+                "nodes (one instance per node, as in the paper)"
             )
-        return [nodes[i].name for i in range(count)]
+        return self.cloud.reserve_nodes(count, owner=self)
 
     def guest_sync(self, instance: DeployedInstance) -> Generator:
         """Simulation process: flush the guest page cache (the ``sync`` system call).

@@ -31,34 +31,27 @@ Design rules:
   trace diffable regression evidence rather than just a picture; the
   determinism contract is spelled out in ``docs/observability.md``.
 
-The module is stdlib-only and imports nothing from the simulator, so every
-layer (``sim``, ``blobseer``, ``core``, ``cluster``) can instrument itself
-without creating an import cycle.
+The module imports nothing from the simulator (only the stdlib and the
+shared exact-statistics helpers of :mod:`repro.util.stats`), so every layer
+(``sim``, ``blobseer``, ``core``, ``cluster``) can instrument itself without
+creating an import cycle.
 """
 
 from __future__ import annotations
 
-import math
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-#: quantiles reported for every histogram (exact nearest-rank, not estimates)
-HISTOGRAM_QUANTILES = (0.50, 0.90, 0.99, 0.999)
+from repro.util.stats import SUMMARY_QUANTILES, exact_quantile, summarize
+
+#: quantiles reported for every histogram (exact nearest-rank, not estimates;
+#: shared with the service layer's SLO rows via :mod:`repro.util.stats`)
+HISTOGRAM_QUANTILES = SUMMARY_QUANTILES
 
 # indices into the mutable span record (a list, so `end` can patch in place)
 _NAME, _CAT, _TRACK, _GROUP, _T0, _T1, _ARGS = range(7)
 
-
-def exact_quantile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank quantile of an ascending-sorted non-empty list.
-
-    ``q`` in (0, 1]; the result is always one of the recorded values (no
-    interpolation), which keeps histogram summaries exact and deterministic.
-    """
-    if not sorted_values:
-        raise ValueError("cannot take a quantile of no values")
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[min(rank, len(sorted_values)) - 1]
+__all__ = ["HISTOGRAM_QUANTILES", "TRACER", "Tracer", "exact_quantile", "tracing"]
 
 
 class Tracer:
@@ -201,19 +194,10 @@ class Tracer:
             }
             for (group, track, name), points in self._series.items()
         ]
-        histograms = {}
-        for name, values in self._hists.items():
-            ordered = sorted(values)
-            summary: Dict[str, Any] = {
-                "count": len(ordered),
-                "sum": math.fsum(ordered),
-                "min": ordered[0],
-                "max": ordered[-1],
-            }
-            for q in HISTOGRAM_QUANTILES:
-                # 0.5 -> "p50", 0.9 -> "p90", 0.99 -> "p99", 0.999 -> "p999"
-                summary[f"p{str(q)[2:].ljust(2, '0')}"] = exact_quantile(ordered, q)
-            histograms[name] = summary
+        histograms = {
+            name: summarize(values, HISTOGRAM_QUANTILES)
+            for name, values in self._hists.items()
+        }
         return {
             "groups": list(self._groups),
             "spans": spans,

@@ -7,15 +7,18 @@ A selector is a colon-separated prefix of a cell key:
 * ``fig2:BlobCR-app:24`` selects both buffer sizes at 24 processes,
 * ``fig2:BlobCR-app:24:50MB`` selects exactly one cell.
 
-Several selectors may be given (repeated flags or comma-separated); a cell is
-kept if any selector matches.  A selector that matches nothing is an error --
-it is almost always a typo, and silently running an empty experiment would
-masquerade as success.
+Each colon-separated segment may carry shell-style wildcards
+(``fnmatch``): ``fig2:*:24`` selects every approach at 24 processes and
+``mtc:*`` every mtc cell.  Several selectors may be given (repeated flags
+or comma-separated); a cell is kept if any selector matches.  A selector
+that matches nothing is an error -- it is almost always a typo, and
+silently running an empty experiment would masquerade as success.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fnmatch import fnmatchcase
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.runner.cells import Cell
@@ -34,9 +37,14 @@ class CellSelector:
         return ":".join((self.experiment,) + self.parts)
 
     def matches(self, cell: Cell) -> bool:
-        if cell.experiment != self.experiment:
+        if not fnmatchcase(cell.experiment, self.experiment):
             return False
-        return cell.parts[: len(self.parts)] == self.parts
+        if len(self.parts) > len(cell.parts):
+            return False
+        return all(
+            fnmatchcase(part, pattern)
+            for pattern, part in zip(self.parts, cell.parts)
+        )
 
 
 def parse_selectors(raw: Iterable[str]) -> List[CellSelector]:

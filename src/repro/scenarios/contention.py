@@ -25,6 +25,7 @@ from repro.scenarios.engine import register_scenario
 from repro.scenarios.results import ExperimentResult
 from repro.scenarios.spec import Axis, ScenarioSpec
 from repro.scenarios.workloads import make_deployment, split_approach
+from repro.service.traffic import background_flow
 from repro.util.config import GRAPHENE, ClusterSpec
 from repro.util.units import MB
 
@@ -47,12 +48,6 @@ def oversubscribed_fabric(spec: ClusterSpec) -> ClusterSpec:
     if network.switch_bandwidth > capped:
         spec = spec.scaled(network=replace(network, switch_bandwidth=capped))
     return spec
-
-
-def _background_flow(cloud, src: str, dst: str, chunk_bytes: int, stop: Dict[str, bool]):
-    """One tenant: an endless sequence of bulk transfers across the fabric."""
-    while not stop["done"]:
-        yield cloud.network.transfer(src, dst, chunk_bytes, label=f"tenant:{src}->{dst}")
 
 
 def run_contention_cell(
@@ -83,7 +78,7 @@ def run_contention_cell(
             src = cloud.compute_nodes[instances + 2 * i].name
             dst = cloud.compute_nodes[instances + 2 * i + 1].name
             cloud.process(
-                _background_flow(cloud, src, dst, flow_chunk_bytes, stop),
+                background_flow(cloud, src, dst, flow_chunk_bytes, stop),
                 name=f"tenant-{i}",
             )
         t0 = cloud.now

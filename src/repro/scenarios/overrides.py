@@ -167,23 +167,56 @@ def apply_cluster_overrides(
     return spec
 
 
+def scenario_overrides_for(
+    scenario: "ScenarioSpec", overrides: Sequence[str]
+) -> Tuple[Dict[str, Tuple[Any, ...]], Dict[str, Any]]:
+    """Extract this scenario's axis and parameter overrides from raw strings.
+
+    Returns ``(axis values, parameter values)`` for overrides addressed to
+    ``scenario``: axes take ``|``-separated sweep values, scenario
+    *parameters* (:attr:`ScenarioSpec.params` -- duration caps, trace paths,
+    queue depths, ...) take exactly one value coerced to the default's type.
+    A name that is neither raises with the full list of valid targets.
+    """
+    axis_values: Dict[str, Tuple[Any, ...]] = {}
+    param_values: Dict[str, Any] = {}
+    axis_names = {axis.name for axis in scenario.axes}
+    for raw in overrides:
+        key, value = _split_assignment(raw)
+        name, target = key.split(".", 1)
+        if name != scenario.name:
+            continue
+        if target in axis_names:
+            axis = scenario.axis(target)
+            tokens = [t for t in value.split("|") if t.strip()]
+            if not tokens:
+                raise ConfigurationError(f"override {raw!r} carries no values")
+            axis_values[target] = tuple(axis.coerce(t.strip()) for t in tokens)
+        elif target in scenario.params:
+            if "|" in value:
+                raise ConfigurationError(
+                    f"scenario parameter {scenario.name}.{target} takes a single "
+                    f"value, not a sweep: {value!r}"
+                )
+            default = scenario.params[target]
+            param_values[target] = coerce_token(
+                type(default), value, f"parameter {scenario.name}.{target}"
+            )
+        else:
+            valid = sorted(axis_names) + sorted(scenario.params)
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} has no axis or parameter {target!r} "
+                f"(valid: {', '.join(valid)})"
+            )
+    return axis_values, param_values
+
+
 def axis_overrides_for(
     scenario: "ScenarioSpec", overrides: Sequence[str]
 ) -> Dict[str, Tuple[Any, ...]]:
-    """Extract this scenario's axis overrides from raw ``--override`` strings.
+    """Extract only the axis overrides addressed to ``scenario``.
 
-    Returns ``{axis name: coerced values}`` for overrides addressed to
-    ``scenario``; unknown axis names raise.
+    Thin historical wrapper over :func:`scenario_overrides_for` (parameter
+    overrides are validated but dropped).
     """
-    picked: Dict[str, Tuple[Any, ...]] = {}
-    for raw in overrides:
-        key, value = _split_assignment(raw)
-        name, axis_name = key.split(".", 1)
-        if name != scenario.name:
-            continue
-        axis = scenario.axis(axis_name)  # raises on unknown axes
-        tokens = [t for t in value.split("|") if t.strip()]
-        if not tokens:
-            raise ConfigurationError(f"override {raw!r} carries no values")
-        picked[axis_name] = tuple(axis.coerce(t.strip()) for t in tokens)
-    return picked
+    return scenario_overrides_for(scenario, overrides)[0]

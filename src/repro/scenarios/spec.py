@@ -136,6 +136,12 @@ class ScenarioSpec:
     cluster: Optional[Callable[[ClusterSpec], ClusterSpec]] = None
     #: declarative failure plan (consumed by the scenario's cell function)
     failures: FailurePlan = field(default_factory=FailurePlan)
+    #: scenario *parameters*: named cell-function arguments that are not
+    #: sweep axes (duration caps, trace paths, queue depths, ...).  Their
+    #: defaults seed every cell's parameters; ``--override
+    #: <scenario>.<param>=<value>`` replaces one of them run-wide, validated
+    #: and type-coerced exactly like an axis override.
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     # -- validation --------------------------------------------------------------------
 
@@ -154,6 +160,11 @@ class ScenarioSpec:
             )
         if not self.key_axes:
             raise ConfigurationError(f"scenario {self.name!r} needs at least one key axis")
+        clashes = sorted(set(self.params) & set(names))
+        if clashes:
+            raise ConfigurationError(
+                f"scenario {self.name!r} parameter(s) {clashes} collide with sweep axes"
+            )
         self.failures.validate()
 
     # -- composition -------------------------------------------------------------------
@@ -222,7 +233,8 @@ class ScenarioSpec:
         cells: List[Cell] = []
         for point in self.sweep_points(paper_scale):
             parts = tuple(self.axis(name).fmt(point[name]) for name in self.key_axes)
-            params = dict(self.cell_params(point))
+            params = dict(self.params)
+            params.update(self.cell_params(point))
             params.setdefault("spec", effective)
             if params_override:
                 params.update(params_override)
@@ -244,13 +256,17 @@ class ScenarioSpec:
 
     def enumerate_cells(self, config: "RunConfig") -> List[Cell]:
         """Enumerate cells for one runner configuration (the registry hook)."""
-        from repro.scenarios.overrides import axis_overrides_for
+        from repro.scenarios.overrides import scenario_overrides_for
 
         scenario = self
-        overrides = axis_overrides_for(scenario, config.overrides)
-        if overrides:
-            scenario = scenario.with_axis_values(**overrides)
-        return scenario.build_cells(paper_scale=config.paper_scale, cluster_spec=config.spec)
+        axis_values, param_values = scenario_overrides_for(scenario, config.overrides)
+        if axis_values:
+            scenario = scenario.with_axis_values(**axis_values)
+        return scenario.build_cells(
+            paper_scale=config.paper_scale,
+            cluster_spec=config.spec,
+            params_override=param_values or None,
+        )
 
 
 def approach_matrix(

@@ -14,6 +14,9 @@ Contents
     synthetically (large, deterministic, never materialised at full size).
 ``rng``
     Deterministic random-number helpers built on ``numpy.random.Generator``.
+``stats``
+    Exact nearest-rank quantiles, histogram summaries and Jain's fairness
+    index, shared by the tracer and the service layer's SLO reports.
 ``config``
     Calibration constants of the paper's testbed (Grid'5000 *graphene*
     cluster) expressed as frozen dataclasses.

@@ -1,0 +1,77 @@
+"""Exact, deterministic summary statistics.
+
+The simulator is noise-free: every latency it produces is an exact function
+of the model, so summaries must be exact too -- *nearest-rank* quantiles
+(always one of the recorded values, no interpolation) keep histogram
+summaries and SLO rows byte-stable across runs, worker counts and machines.
+
+This module is stdlib-only and imports nothing from the simulator so every
+layer (the :mod:`repro.obs` tracer, the :mod:`repro.service` SLO reports)
+can share it without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Sequence
+
+#: quantiles reported by :func:`summarize` (exact nearest-rank, not estimates)
+SUMMARY_QUANTILES = (0.50, 0.90, 0.99, 0.999)
+
+
+def quantile_label(q: float) -> str:
+    """Render a quantile as its conventional label: ``0.5 -> "p50"``,
+    ``0.99 -> "p99"``, ``0.999 -> "p999"``."""
+    return f"p{str(q)[2:].ljust(2, '0')}"
+
+
+def exact_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted non-empty sequence.
+
+    ``q`` in (0, 1]; the result is always one of the recorded values (no
+    interpolation), which keeps summaries exact and deterministic.
+    """
+    if not sorted_values:
+        raise ValueError("cannot take a quantile of no values")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def summarize(
+    values: Iterable[float], quantiles: Sequence[float] = SUMMARY_QUANTILES
+) -> Dict[str, Any]:
+    """Summarise recorded values: count/sum/min/max plus exact quantiles.
+
+    The shared summary shape of the tracer's histograms and the service
+    layer's SLO rows; the quantile keys follow :func:`quantile_label`.
+    Raises :class:`ValueError` on an empty input (an empty histogram is a
+    recording bug, not a statistic).
+    """
+    ordered: List[float] = sorted(values)
+    if not ordered:
+        raise ValueError("cannot summarise no values")
+    summary: Dict[str, Any] = {
+        "count": len(ordered),
+        "sum": math.fsum(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+    for q in quantiles:
+        summary[quantile_label(q)] = exact_quantile(ordered, q)
+    return summary
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index of a non-empty allocation vector.
+
+    ``(sum x)^2 / (n * sum x^2)`` -- 1.0 when every tenant gets the same
+    share, ``1/n`` when one tenant gets everything.  An all-zero vector is
+    perfectly fair (everyone got the same nothing).
+    """
+    if not values:
+        raise ValueError("cannot compute fairness of no values")
+    total = math.fsum(values)
+    squares = math.fsum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

@@ -48,6 +48,7 @@ CANONICAL = [
     "ft",
     "scale",
     "contention",
+    "mtc",
 ]
 
 
