@@ -31,6 +31,7 @@ Quick start::
 from repro.api.results import (
     CheckpointResult,
     DeployResult,
+    MigrateResult,
     RestartResult,
     RunReport,
     ServeReport,
@@ -57,6 +58,7 @@ __all__ = [
     "DeployResult",
     "DeploymentBackend",
     "GRAPHENE",
+    "MigrateResult",
     "Overrides",
     "RestartResult",
     "RunReport",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
+from repro.core.migration import MigrationResult
 from repro.core.strategy import GlobalCheckpoint
 from repro.scenarios.results import ExperimentResult
 from repro.service.slo import ServiceReport
@@ -64,6 +65,35 @@ class RestartResult:
     bytes_restored: int
     #: ids of the restarted instances
     instance_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MigrateResult:
+    """Outcome of ``session.migrate(...)``: one live migration."""
+
+    #: id of the migrated instance
+    instance_id: str
+    #: migration algorithm that ran (``pre-copy`` / ``post-copy`` /
+    #: ``stop-and-copy``)
+    mode: str
+    source_node: str
+    target_node: str
+    #: simulated seconds the guest was unavailable (suspend to resume)
+    downtime_s: float
+    #: simulated seconds of the whole migration, first round to last block
+    total_s: float
+    #: iterative pre-copy rounds that ran (0 for post-copy: every residue
+    #: block moves after the switchover)
+    rounds: int
+    #: every byte the migration pushed across the fabric
+    total_bytes_moved: int
+    #: post-copy blocks served on demand from the source after the switchover
+    remote_faults: int
+    #: the source died mid-migration and the instance was restarted from the
+    #: last durable snapshot instead of completing the live handover
+    rolled_back: bool
+    #: the engine-level result (per-round byte counts, fault accounting)
+    handle: MigrationResult = field(repr=False)
 
 
 @dataclass(frozen=True)

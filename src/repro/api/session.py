@@ -31,6 +31,7 @@ from typing import Any, Callable, Generator, Iterable, List, Mapping, Optional, 
 from repro.api.results import (
     CheckpointResult,
     DeployResult,
+    MigrateResult,
     RestartResult,
     RunReport,
     ServeReport,
@@ -251,6 +252,59 @@ class Session:
             duration_s=self.now - started,
             bytes_restored=report.bytes_restored,
             instance_ids=tuple(report.instances),
+        )
+
+    def migrate(
+        self,
+        instance_id: Optional[str] = None,
+        target_node: Optional[str] = None,
+        mode: str = "pre-copy",
+        demand_paths: Iterable[str] = (),
+    ) -> MigrateResult:
+        """Live-migrate one instance to another compute node.
+
+        Requires a deployed backend whose registry entry advertises
+        ``live_migration`` (``blobcr-migrate`` offers ``pre-copy`` and
+        ``post-copy``; ``qcow2-full`` only the monolithic
+        ``stop-and-copy``).  ``instance_id`` defaults to the first deployed
+        instance and ``target_node`` to the next free compute node.
+        ``demand_paths`` (post-copy only) names guest files the workload
+        touches right after the switchover, served as demand faults ahead
+        of the background prefetch sweep.  Returns a
+        :class:`~repro.api.results.MigrateResult`; the engine-level
+        :class:`~repro.core.migration.MigrationResult` rides along as
+        ``handle``.
+        """
+        deployment = self.deployment
+        info = get_backend(self.backend)
+        if not info.capabilities.live_migration:
+            raise ConfigurationError(
+                f"backend {info.name!r} does not support live migration "
+                "(its registry capabilities do not advertise it)"
+            )
+        if instance_id is None:
+            instance_id = deployment.instances[0].instance_id
+        instance = self._instance(instance_id)
+        if target_node is None:
+            target_node = self.cloud.reserve_nodes(1, owner=deployment)[0]
+        result = self.drive(
+            deployment.migrate_instance(
+                instance, target_node, mode=mode, demand_paths=tuple(demand_paths)
+            ),
+            name=f"api-migrate:{instance_id}",
+        )
+        return MigrateResult(
+            instance_id=result.instance_id,
+            mode=result.mode,
+            source_node=result.source_node,
+            target_node=result.target_node,
+            downtime_s=result.downtime_s,
+            total_s=result.total_migration_s,
+            rounds=len(result.rounds),
+            total_bytes_moved=result.total_bytes_moved,
+            remote_faults=result.remote_faults,
+            rolled_back=result.rolled_back,
+            handle=result,
         )
 
     # -- guest I/O conveniences --------------------------------------------------------

@@ -11,13 +11,14 @@ approaches even though restart avoids rebooting the guest.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Sequence
 
 from repro.baselines.common import QcowPVFSDeployment
 from repro.core.backends import BackendCapabilities, register_backend
+from repro.core.migration import MigrationResult
 from repro.core.strategy import CheckpointRecord, DeployedInstance
 from repro.guest.filesystem import GuestFileSystem
-from repro.util.errors import RestartError
+from repro.util.errors import MigrationError, RestartError
 from repro.vdisk.qcow2 import QcowImage
 
 
@@ -73,3 +74,89 @@ class Qcow2FullDeployment(QcowPVFSDeployment):
         # RAM and device state are restored in place; report the volume that
         # had to be transferred to bring the process state back.
         return snapshot.vm_state_size
+
+    def migrate_instance(
+        self,
+        instance: DeployedInstance,
+        target_node: str,
+        mode: str = "stop-and-copy",
+        demand_paths: Sequence[str] = (),
+    ) -> Generator:
+        """Simulation process: monolithic stop-and-copy migration.
+
+        ``savevm`` snapshots are all-or-nothing, so the only migration this
+        baseline can offer is the classic suspend / copy-everything / resume:
+        the guest stays frozen while the full image (disk content plus the
+        saved RAM and device state) is pushed through PVFS and read back on
+        the destination.  The whole window is downtime -- the number the
+        live pre-copy algorithm of ``blobcr-migrate`` is built to beat.
+        Failures mid-copy propagate: with a single monolithic transfer there
+        is no durable intermediate round to roll back to.
+        """
+        if mode != "stop-and-copy":
+            raise MigrationError(
+                f"{self.name} only supports stop-and-copy migration, not {mode!r} "
+                "(savevm snapshots are monolithic)"
+            )
+        if not instance.vm.is_running:
+            raise MigrationError(
+                f"cannot migrate {instance.instance_id}: the instance is not running"
+            )
+        source_node = instance.vm.host or instance.node_name
+        if target_node == source_node:
+            raise MigrationError(
+                f"cannot migrate {instance.instance_id} onto its own host {source_node}"
+            )
+        self.cloud.node(target_node).check_alive()
+        self.cloud.claim_nodes([target_node], owner=self)
+        overlay: QcowImage = instance.backend
+        started = self.cloud.now
+        # Suspend for the whole transfer; flush the page cache so the copied
+        # image holds the current file contents.
+        yield from self.hypervisors.get(source_node).suspend(instance.vm)
+        synced = instance.vm.filesystem.sync()
+        if synced > 0:
+            yield self.cloud.node(source_node).disk.write(
+                synced, label=f"migrate-flush:{instance.instance_id}"
+            )
+        state_bytes = instance.vm.runtime_state_bytes
+        snapshot_name = f"migrate-{len(overlay.internal_snapshots):04d}"
+        overlay.create_internal_snapshot(snapshot_name, vm_state_size=state_bytes)
+        yield self.cloud.node(source_node).disk.write(
+            state_bytes, label=f"migrate-state:{instance.instance_id}"
+        )
+        file_name = self._snapshot_file_name(instance)
+        size = yield from self._copy_image_to_pvfs(instance, overlay, file_name)
+        new_overlay = yield from self._fetch_snapshot_image(
+            target_node, file_name, lazy_bytes=None
+        )
+        if not isinstance(new_overlay, QcowImage):  # pragma: no cover - defensive
+            raise RestartError(f"{file_name} is not a qcow2 image")
+        new_overlay.revert_to_internal_snapshot(snapshot_name)
+        source = self.cloud.node(source_node)
+        if instance.vm.instance_id in source.hosted_instances:
+            source.hosted_instances.remove(instance.vm.instance_id)
+        instance.backend = new_overlay
+        instance.node_name = target_node
+        fs = GuestFileSystem.mount(new_overlay)
+        yield from self.hypervisors.get(target_node).migrate_in(
+            instance.vm, new_overlay, fs=fs
+        )
+        result = MigrationResult(
+            instance_id=instance.instance_id,
+            mode="stop-and-copy",
+            source_node=source_node,
+            target_node=target_node,
+            started_at=started,
+            finished_at=self.cloud.now,
+            downtime_s=self.cloud.now - started,
+            rounds=(),
+            residue_bytes=size,
+            state_bytes=state_bytes,
+            remote_faults=0,
+            remote_fault_bytes=0,
+            prefetched_blocks=0,
+            prefetched_bytes=0,
+        )
+        self.migrations.append(result)
+        return result

@@ -156,6 +156,27 @@ class Hypervisor:
         vm.mark_running(fs if fs is not None else GuestFileSystem.mount(disk))
         return vm
 
+    def migrate_in(
+        self, vm: VMInstance, disk: BlockDevice, fs: Optional[GuestFileSystem] = None
+    ) -> Generator:
+        """Simulation process: adopt a suspended VM migrated from another node.
+
+        The guest is *not* rebooted -- its processes keep their pids and
+        memory (the caller has already shipped the runtime state); only the
+        virtual disk is re-attached on this node.  Charges the define plus a
+        resume (loadvm-style) latency, then resumes the guest.
+        """
+        self.node.check_alive()
+        vm.relocate(disk, fs if fs is not None else GuestFileSystem.mount(disk))
+        vm.host = self.node.name
+        if vm.instance_id not in self.node.hosted_instances:
+            self.node.hosted_instances.append(vm.instance_id)
+        yield self.env.timeout(self._jitter(self.vm_spec.define_time, ("define", vm.instance_id)))
+        yield self.env.timeout(self._jitter(self.vm_spec.resume_time, ("loadvm", vm.instance_id)))
+        self.node.check_alive()
+        vm.resume()
+        return vm
+
     def savevm(self, vm: VMInstance, image: QcowImage, snapshot_name: str) -> Generator:
         """Simulation process: full VM snapshot into the qcow2 image (``savevm``).
 

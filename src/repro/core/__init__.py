@@ -45,6 +45,12 @@ from repro.core.mirroring import MirroringModule
 from repro.core.proxy import CheckpointProxy
 from repro.core.strategy import CheckpointRecord, Deployment, DeployedInstance, GlobalCheckpoint
 from repro.core.blobcr import BlobCRDeployment
+from repro.core.migration import (
+    BlobCRMigrateDeployment,
+    MigrationResult,
+    MigrationRound,
+    PostCopyPump,
+)
 from repro.core.protocol import CoordinatedCheckpoint
 from repro.core.gc import SnapshotGarbageCollector
 from repro.core.baseimage import build_base_image
@@ -69,5 +75,9 @@ __all__ = [
     "CheckpointRecord",
     "GlobalCheckpoint",
     "BlobCRDeployment",
+    "BlobCRMigrateDeployment",
+    "MigrationResult",
+    "MigrationRound",
+    "PostCopyPump",
     "SnapshotGarbageCollector",
 ]

@@ -151,6 +151,7 @@ def load_builtin_backends() -> None:
     """Import the modules registering the built-in backends (idempotent)."""
     import repro.baselines  # noqa: F401  (registers qcow2-disk, qcow2-full)
     import repro.core.blobcr  # noqa: F401  (registers blobcr)
+    import repro.core.migration  # noqa: F401  (registers blobcr-migrate)
 
 
 def backend_names() -> List[str]:

@@ -100,6 +100,21 @@ class MirroringModule(BlockDevice):
     def remote_bytes_fetched(self) -> int:
         return self.remote.remote_bytes_fetched
 
+    def residue_payloads(self) -> Dict[int, ByteSource]:
+        """Payloads of the blocks dirtied since the last COMMIT (open epoch).
+
+        This is what a post-copy migration leaves behind on the source: the
+        local COW content not yet published to the repository, keyed by block
+        index.  Blocks whose content lives only in the remote base (clean
+        fall-through reads) carry nothing local and are skipped.
+        """
+        payloads: Dict[int, ByteSource] = {}
+        for index in sorted(self.dirty.dirty_blocks):
+            payload = self._local.block_payload(index)
+            if payload is not None and payload.size > 0:
+                payloads[index] = payload
+        return payloads
+
     def hot_chunk_keys(self, offset: int, length: int) -> Set:
         """Chunk keys backing a byte range of the base snapshot (prefetch planning)."""
         plan = self.repository.client.read_plan(

@@ -113,6 +113,9 @@ class Deployment(abc.ABC):
         self.instance_prefix = instance_prefix
         self.instances: List[DeployedInstance] = []
         self.checkpoints: List[GlobalCheckpoint] = []
+        #: completed live migrations, in completion order (populated by the
+        #: backends whose ``migrate_instance`` advertises live migration)
+        self.migrations: List[Any] = []
         #: per-node hypervisors, shared by every phase of the strategy
         self.hypervisors = HypervisorCache(cloud)
         self._checkpoint_index = 0

@@ -201,6 +201,21 @@ class GuestFileSystem:
             prefix = "/"
         return sorted(p for p in self._files if p.startswith(prefix))
 
+    def file_extents(self, path: str) -> List[Tuple[int, int]]:
+        """On-disk extents of a file as ``(device offset, length)`` pairs.
+
+        This is the block mapping a post-copy migration needs to translate
+        "the guest touched this file" into the virtual-disk blocks that must
+        be faulted in from the source.  Dirty (unflushed) cache content has
+        no extents yet and is not included.
+        """
+        self._require_mounted()
+        path = self._normalise(path)
+        node = self._files.get(path)
+        if node is None:
+            raise FileSystemError(f"no such file: {path}")
+        return list(node.extents)
+
     def stat(self, path: str) -> FileStat:
         self._require_mounted()
         path = self._normalise(path)

@@ -81,6 +81,19 @@ class VMInstance:
             if process.state is ProcessState.STOPPED:
                 process.resume()
 
+    def relocate(self, disk: BlockDevice, fs: GuestFileSystem) -> None:
+        """Hand the (suspended) instance over to a new host's virtual disk.
+
+        Live migration moves a *suspended* VM between hypervisors without a
+        reboot: its processes survive with their pids and memory, only the
+        disk attachment and the mounted file-system view change.  The state
+        machine stays in SUSPENDED; the destination hypervisor resumes it.
+        """
+        if self.state is not VMState.SUSPENDED:
+            raise GuestError(f"cannot relocate a {self.state.value} instance")
+        self.disk = disk
+        self.fs = fs
+
     def terminate(self) -> None:
         """Kill the instance; its local (non-persistent) state is gone."""
         self.state = VMState.TERMINATED

@@ -67,6 +67,8 @@ _CANONICAL_ORDER = (
     "scale",
     "contention",
     "mtc",
+    "evac",
+    "mig",
 )
 
 
@@ -97,12 +99,14 @@ def load_all() -> List[str]:
     """Import every experiment module so the registry is fully populated.
 
     The paper's figures register first (canonical order fig2 ... table1),
-    followed by the beyond-paper scenarios (ft, scale, contention, mtc).
+    followed by the beyond-paper scenarios (ft, scale, contention, mtc,
+    evac, mig).
     """
     import repro.experiments  # noqa: F401  (imports register the specs)
     import repro.scenarios.fault_tolerance  # noqa: F401
     import repro.scenarios.scale  # noqa: F401
     import repro.scenarios.contention  # noqa: F401
     import repro.scenarios.service  # noqa: F401
+    import repro.scenarios.migration  # noqa: F401
 
     return experiment_names()

@@ -1442,6 +1442,14 @@ class BandwidthSystem:
             # separately, so this is bit-identical to the merged BFS below).
             # A replan can complete or re-home later seeds -- ``handled``
             # carries every flow already covered by an earlier component.
+            # Each replan ends by re-arming the timer, which must still see
+            # the horizons of seeds in components not replanned *yet* (their
+            # entries were popped above) -- push them back; an entry goes
+            # stale the moment its component replans (new deadline) or the
+            # flow completes (dropped from the active set).
+            for flow in seeds:
+                self._heap_seq += 1
+                heapq.heappush(heap, (flow.deadline, self._heap_seq, flow))
             handled: Set[Flow] = set()
             for flow in seeds:
                 if flow in handled or flow not in self._flows:

@@ -50,6 +50,10 @@ class RestartError(ReproError):
     """A restart from a previously taken checkpoint failed."""
 
 
+class MigrationError(ReproError):
+    """A live migration could not be performed (or is unsupported)."""
+
+
 # --- guest environment -----------------------------------------------------
 
 

@@ -26,7 +26,7 @@ from repro.util.errors import ConfigurationError
 
 SMALL = GRAPHENE.scaled(compute_nodes=6, service_nodes=3)
 
-BUILTIN_BACKENDS = ["blobcr", "qcow2-disk", "qcow2-full"]
+BUILTIN_BACKENDS = ["blobcr", "blobcr-migrate", "qcow2-disk", "qcow2-full"]
 
 
 class TestBackendRegistry:

@@ -49,6 +49,8 @@ CANONICAL = [
     "scale",
     "contention",
     "mtc",
+    "evac",
+    "mig",
 ]
 
 

@@ -184,7 +184,7 @@ class TestOverrides:
 class TestScenarioRegistry:
     def test_scenarios_registered_with_experiments(self):
         names = load_all()
-        assert names[-4:] == ["ft", "scale", "contention", "mtc"]
+        assert names[-6:] == ["ft", "scale", "contention", "mtc", "evac", "mig"]
         assert set(scenario_names()) == set(names)
         assert get_scenario("ft") is FT
         with pytest.raises(ConfigurationError, match="unknown scenario"):

@@ -82,6 +82,33 @@ def test_incremental_rates_match_reference_exactly(topology):
     assert bw.active_flows == 0
 
 
+def test_coinciding_deadlines_across_disjoint_components():
+    """Regression: two disjoint fabrics whose flows complete at the same
+    float instant.  The timer pops *both* heap entries as seeds; under
+    persistence each component is replanned separately, and the first
+    replan's re-armed timer must still account for the not-yet-replanned
+    second component (its entry was already popped) instead of raising
+    "active flows but no finite completion horizon".
+
+    The sizes are tuned so both deadlines round to the identical double:
+    4.0/3.0 == 1.0 + 1.0/3.0 in IEEE-754.
+    """
+    env, bw = build_system(verify=True)
+    channels = [bw.channel(3.0, f"ch{i}") for i in range(2)]
+    done_times = {}
+
+    def mover(i, channel, size, start):
+        yield env.timeout(start)
+        yield bw.transfer(size, [channel], label=f"f{i}")
+        done_times[i] = env.now
+
+    env.process(mover(0, channels[0], 4.0, 0.0))
+    env.process(mover(1, channels[1], 1.0, 1.0))
+    env.run()
+    assert done_times[0] == done_times[1] == 4.0 / 3.0
+    assert bw.active_flows == 0
+
+
 @settings(max_examples=40, deadline=None)
 @given(topology=topologies(), fail_at=st.floats(0.5, 20.0), victim=st.integers(0, 5))
 def test_incremental_rates_match_reference_under_channel_failure(topology, fail_at, victim):

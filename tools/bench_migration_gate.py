@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""CI gate for the live-migration backend.
+
+Runs the reference evacuation cells (``evac:pre-copy:45``,
+``evac:post-copy:45`` and ``evac:stop-and-copy:45`` by default) once,
+sequentially, and enforces the claim the ``blobcr-migrate`` backend is built
+on: iterative pre-copy keeps the guest's unavailability window *shorter*
+than the monolithic stop-and-copy baseline, because only the residue of the
+final round (plus runtime state) is moved while the guest is suspended.
+The gate fails if:
+
+* any reference cell fails to verify (surviving state diverged, or a host
+  that should have survived did not), or
+* pre-copy downtime is not strictly below stop-and-copy downtime by at
+  least ``--min-downtime-ratio`` (default 2.0x), or
+* post-copy downtime is not strictly below stop-and-copy downtime (the
+  immediate switchover must never be slower than copying everything first).
+
+Cell selection goes through the CLI's shared
+:func:`repro.cli.resolve_run_inputs` pipeline, so the gate accepts exactly
+the selectors ``blobcr-repro run --cells`` accepts, by construction.  The
+run is written out as a JSON artifact (``--out``) so CI can upload it for
+inspection.  Typical CI use::
+
+    python tools/bench_migration_gate.py --out bench-migration-gate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+#: the reference evacuation cells, one per gated policy
+DEFAULT_CELLS = "evac:pre-copy:45,evac:post-copy:45,evac:stop-and-copy:45"
+
+
+def run_cells(cells: str) -> dict:
+    """Run the selected evac cells sequentially; return rows + timing."""
+    from repro.cli import resolve_run_inputs
+    from repro.runner import ParallelRunner, load_all
+
+    experiments, selectors, config = resolve_run_inputs(
+        load_all(), [], [cells], [], paper_scale=False
+    )
+    started = time.perf_counter()
+    report = ParallelRunner(workers=1).run(experiments, config, selectors)
+    wall = time.perf_counter() - started
+    return {
+        "schema": "blobcr-repro/migration-gate",
+        "cells": cells,
+        "wall_seconds": wall,
+        "rows": [row for result in report.results for row in result.rows],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", default=DEFAULT_CELLS)
+    parser.add_argument(
+        "--min-downtime-ratio",
+        type=float,
+        default=2.0,
+        help="required stop-and-copy/pre-copy downtime ratio (default 2.0)",
+    )
+    parser.add_argument("--out", default=None, help="run artifact path")
+    args = parser.parse_args(argv)
+
+    print(f"[migration-gate] cells={args.cells}", flush=True)
+    result = run_cells(args.cells)
+    by_policy = {row["policy"]: row for row in result["rows"]}
+    for policy, row in by_policy.items():
+        print(
+            f"[migration-gate] {policy:<13}: downtime={row['downtime_s']:.3f}s "
+            f"total={row['total_s']:.3f}s bytes={row['bytes_moved']}",
+            flush=True,
+        )
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"[migration-gate] wrote {args.out}")
+
+    failures = []
+    for policy, row in by_policy.items():
+        if not row.get("verified", False):
+            failures.append(f"{policy} cell did not verify its surviving state")
+    missing = {"pre-copy", "stop-and-copy"} - set(by_policy)
+    if missing:
+        failures.append(
+            f"gated policies missing from the selected cells: {sorted(missing)}"
+        )
+    if not failures:
+        stop_copy = by_policy["stop-and-copy"]["downtime_s"]
+        pre_copy = by_policy["pre-copy"]["downtime_s"]
+        ratio = stop_copy / max(pre_copy, 1e-9)
+        print(f"[migration-gate] stop-and-copy/pre-copy downtime ratio: {ratio:.2f}x")
+        if ratio < args.min_downtime_ratio:
+            failures.append(
+                f"pre-copy downtime ({pre_copy:.3f}s) is only {ratio:.2f}x below "
+                f"stop-and-copy ({stop_copy:.3f}s); required >= "
+                f"{args.min_downtime_ratio:.2f}x"
+            )
+        post_copy = by_policy.get("post-copy")
+        if post_copy is not None and post_copy["downtime_s"] >= stop_copy:
+            failures.append(
+                f"post-copy downtime ({post_copy['downtime_s']:.3f}s) is not "
+                f"below stop-and-copy ({stop_copy:.3f}s)"
+            )
+
+    for failure in failures:
+        print(f"[migration-gate] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[migration-gate] OK: live migration beats stop-and-copy downtime")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
